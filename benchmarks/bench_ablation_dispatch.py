@@ -1,0 +1,27 @@
+"""A2 — dispatch-cost sensitivity: where the baseline optimum sits.
+
+Sweeps the host store-port occupancy (the per-cluster doorbell cost)
+and tracks the baseline design's optimal cluster count — quantifying
+the co-design pressure the multicast extension relieves.
+"""
+
+from repro import experiments
+
+
+def test_ablation_dispatch(bench_once):
+    result = bench_once(experiments.ablation_dispatch)
+    print()
+    print(result.render())
+
+    # Slower dispatch must never move the optimum toward MORE clusters.
+    costs = sorted(result.optima)
+    optima = [result.optima[cost] for cost in costs]
+    assert optima == sorted(optima, reverse=True)
+    # Cheap dispatch leaves headroom to scale out; expensive dispatch
+    # squeezes the sweet spot down (the AMO-and-poll completion costs
+    # keep even a free dispatch from favouring the full fabric).
+    assert result.optima[costs[0]] >= 8
+    assert result.optima[costs[-1]] <= 4
+    # And the whole baseline curve shifts up with the dispatch cost.
+    for m in result.curves[costs[0]]:
+        assert result.curves[costs[-1]][m] >= result.curves[costs[0]][m]

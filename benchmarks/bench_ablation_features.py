@@ -1,0 +1,26 @@
+"""A1 — feature ablation: multicast vs sync unit, each alone and together.
+
+The paper evaluates both extensions as a bundle; this ablation isolates
+their contributions by running all four hardware/software pairings on
+identical jobs.
+"""
+
+from repro import experiments
+
+
+def test_ablation_features(bench_once):
+    result = bench_once(experiments.ablation_features)
+    print()
+    print(result.render())
+
+    runtimes = result.runtimes
+    for m in (8, 16, 32):
+        # Every variant sits between baseline and extended.
+        assert runtimes["extended"][m] <= runtimes["multicast_only"][m] \
+            <= runtimes["baseline"][m]
+        assert runtimes["extended"][m] <= runtimes["hw_sync_only"][m] \
+            <= runtimes["baseline"][m]
+    # At scale the dispatch path dominates: multicast is the big lever.
+    saved_mcast = runtimes["baseline"][32] - runtimes["multicast_only"][32]
+    saved_sync = runtimes["baseline"][32] - runtimes["hw_sync_only"][32]
+    assert saved_mcast > 5 * saved_sync

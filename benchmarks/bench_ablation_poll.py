@@ -1,0 +1,25 @@
+"""A4 — poll-period sensitivity of the baseline's completion protocol.
+
+The baseline host polls a shared flag; its completion latency grows
+with the gap between polls, while the extended design's interrupt path
+has no such knob.  This bench sweeps the poll gap.
+"""
+
+from repro import experiments
+
+
+def test_ablation_poll(bench_once):
+    result = bench_once(experiments.ablation_poll)
+    print()
+    print(result.render())
+
+    gaps = sorted(result.runtimes)
+    # Small gaps land within one poll period of each other (the poll
+    # arrival grids are not nested, so tiny non-monotonicity is real
+    # quantization, not error)...
+    small = [result.runtimes[gap] for gap in gaps if gap <= 16]
+    assert max(small) - min(small) <= 34  # one poll period at gap=16
+    # ...but a huge gap costs real time vs the interrupt path,
+    assert result.runtimes[gaps[-1]] > min(small) + 50
+    # and even the tightest busy-loop cannot beat the interrupt.
+    assert min(result.runtimes.values()) >= result.extended_runtime

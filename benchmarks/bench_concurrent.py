@@ -1,0 +1,23 @@
+"""E10 — space sharing: concurrent jobs amortize the offload overhead.
+
+Two equal DAXPY jobs run either back to back (each using the full
+allocation) or concurrently on disjoint half-ranges with a single
+cross-job completion barrier in the credit counter.  The hardware and
+the aggregate work are identical; the schedule alone decides how many
+constant offload overheads the application pays.
+"""
+
+from repro import experiments
+
+
+def test_space_sharing(bench_once):
+    result = bench_once(experiments.concurrency_experiment)
+    print()
+    print(result.render())
+
+    for m, concurrent in result.concurrent_cycles.items():
+        sequential = result.sequential_cycles[m]
+        # Space sharing always wins on equal hardware...
+        assert concurrent < sequential
+        # ...by roughly one constant offload overhead (~250-450 cycles).
+        assert 150 < sequential - concurrent < 600

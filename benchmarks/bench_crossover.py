@@ -1,0 +1,32 @@
+"""E7 — the offload crossover: when does offloading start to pay?
+
+Measures host execution and the widest offload for sizes from 16 to
+1024 and reports the smallest N where the accelerator wins per kernel —
+quantifying the fine-grained-task motivation of the paper's
+introduction with both sides measured on the same simulator.
+"""
+
+from repro import experiments
+
+
+def test_offload_crossover(bench_once):
+    result = bench_once(experiments.crossover_experiment)
+    print()
+    print(result.render())
+
+    for row in result.rows:
+        # Every kernel crosses somewhere inside the tested range...
+        assert row.crossover_n is not None, row.kernel
+        # ...and the crossover sits in fine-grained territory: the
+        # constant offload overhead (~370 cycles) is what sets it.
+        assert 32 <= row.crossover_n <= 512, row
+
+    # Below the crossover the host wins; above, the accelerator wins
+    # and keeps winning.
+    for kernel, curve in result.curves.items():
+        crossed = False
+        for n in sorted(curve):
+            host, accel = curve[n]
+            if crossed:
+                assert accel < host, (kernel, n)
+            crossed = crossed or accel < host

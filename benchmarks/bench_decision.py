@@ -1,0 +1,23 @@
+"""E6 — Eq. 3: minimum cluster count under a deadline, verified.
+
+Regenerates the offload-decision table: for each (N, t_max) scenario,
+the model-inverted M_min, the prediction, and a *simulated* check that
+M_min meets the deadline while M_min - 1 misses it.
+"""
+
+from repro import experiments
+
+
+def test_eq3_decision_table(bench_once):
+    result = bench_once(experiments.decision_experiment)
+    print()
+    print(result.render())
+
+    feasible = [row for row in result.rows if row.m_min is not None]
+    infeasible = [row for row in result.rows if row.m_min is None]
+    assert feasible, "expected solvable scenarios"
+    assert infeasible, "expected at least one sub-floor deadline"
+    for row in feasible:
+        assert row.meets_deadline, row
+        if row.tighter_fails is not None:
+            assert row.tighter_fails, row

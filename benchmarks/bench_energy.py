@@ -1,0 +1,29 @@
+"""E8 — offload energy, baseline vs extended (the paper's other metric).
+
+The paper's overheads "add up to the runtime *and energy consumption*
+of the job execution"; this bench quantifies the energy side with the
+simulator's activity counters under a placeholder power budget: the
+extended design saves energy on top of time because the host sleeps in
+WFI instead of polling and dispatch traffic shrinks.
+"""
+
+from repro import experiments
+
+
+def test_energy_comparison(bench_once):
+    result = bench_once(experiments.energy_experiment)
+    print()
+    print(result.render())
+
+    for m in result.extended_pj:
+        # The extensions never cost energy...
+        assert result.extended_pj[m] < result.baseline_pj[m]
+        # ...and the energy saving exceeds the runtime saving (the
+        # sleeping host compounds with the shorter runtime).
+        energy_saving = result.baseline_pj[m] / result.extended_pj[m]
+        runtime_saving = (result.baseline_cycles[m]
+                          / result.extended_cycles[m])
+        assert energy_saving > runtime_saving
+
+    # Energy- and runtime-optimal widths diverge: watts buy latency.
+    assert result.energy_optimal_m() < result.runtime_optimal_m()

@@ -1,0 +1,55 @@
+"""Simulator-engine microbenchmarks (wall-clock cost of the substrate).
+
+Not a paper artifact: these track the discrete-event kernel's own
+throughput so simulator regressions are visible independently of the
+experiments built on top.
+"""
+
+from repro.core.offload import offload_daxpy
+from repro.sim import SerialResource, Simulator
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+
+def test_event_queue_throughput(benchmark):
+    """Schedule-and-run one hundred thousand chained events."""
+    def run():
+        sim = Simulator()
+
+        def body():
+            for _ in range(100_000):
+                yield 1
+            return sim.now
+
+        proc = sim.spawn(body())
+        sim.run()
+        return proc.value
+
+    assert benchmark(run) == 100_000
+
+
+def test_resource_contention_throughput(benchmark):
+    """Ten thousand requests through one FIFO resource."""
+    def run():
+        sim = Simulator()
+        resource = SerialResource(sim, "bus")
+        done = [resource.request(3) for _ in range(10_000)]
+        sim.run(until=done[-1])
+        return sim.now
+
+    assert benchmark(run) == 30_000
+
+
+def test_system_construction(benchmark):
+    """Build a full 32-cluster SoC (done once per sweep point)."""
+    system = benchmark(ManticoreSystem, SoCConfig.extended())
+    assert len(system.clusters) == 32
+
+
+def test_single_offload_wall_clock(benchmark):
+    """One complete measured offload, end to end."""
+    def run():
+        system = ManticoreSystem(SoCConfig.extended())
+        return offload_daxpy(system, n=1024, num_clusters=32).runtime_cycles
+
+    assert benchmark(run) == 637

@@ -1,0 +1,27 @@
+"""E1 + E3 — Fig. 1 (left): DAXPY runtime vs cluster count, both designs.
+
+Regenerates the paper's left plot series (runtime of a 1024-element
+DAXPY for M in {1..32}, baseline vs extended) and asserts the headline
+claims: interior baseline minimum, monotone extended curve, >300-cycle
+gap and a max speedup in the 47.9 %-neighbourhood band.
+"""
+
+from repro import experiments
+
+
+def test_fig1_left(bench_once):
+    result = bench_once(experiments.fig1_left)
+    print()
+    print(result.render())
+
+    # Extended: runtime strictly improves all the way to 32 clusters.
+    curve = [result.extended[m] for m in sorted(result.extended)]
+    assert curve == sorted(curve, reverse=True)
+
+    # Baseline: interior optimum, overhead dominating beyond it.
+    assert result.baseline_optimum_m in (4, 8)
+    assert result.baseline[32] > result.baseline[result.baseline_optimum_m]
+
+    # Headline numbers (paper: >300 cycles, 47.9 %).
+    assert result.gap_at_max_m > 300
+    assert 1.35 <= result.max_speedup <= 1.60

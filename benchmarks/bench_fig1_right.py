@@ -1,0 +1,27 @@
+"""E2 — Fig. 1 (right): speedup of the extensions across (N, M).
+
+Regenerates the paper's right plot: speedup of the extended design over
+the baseline for problem sizes from 1024 upward and M in {1..32}.
+Asserts the two claims the paper draws from it: speedup always above
+one, and decreasing with the problem size at a fixed cluster count.
+"""
+
+from repro import experiments
+
+
+def test_fig1_right(bench_once):
+    result = bench_once(experiments.fig1_right)
+    print()
+    print(result.render())
+
+    assert result.min_speedup > 1.0
+
+    # Decreasing with N at fixed M (asserted above the polling jitter).
+    for m in (8, 16, 32):
+        series = [result.speedups[(m, n)] for n in result.n_values()]
+        assert series == sorted(series, reverse=True)
+
+    # Increasing with M at fixed N.
+    for n in result.n_values():
+        series = [result.speedups[(m, n)] for m in result.m_values()]
+        assert series == sorted(series)

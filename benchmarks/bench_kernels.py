@@ -1,0 +1,29 @@
+"""A3 — model generality: the Eq.-1 family fitted to every kernel.
+
+The paper models DAXPY; this bench fits the same three-coefficient
+family to every element-wise/reduction kernel in the library and
+checks it stays tight (MAPE well under the paper's 1 % bound), showing
+the model is a property of the offload machinery, not of DAXPY.
+"""
+
+from repro import experiments
+
+
+def test_kernel_generality(bench_once):
+    result = bench_once(experiments.kernel_generality)
+    print()
+    print(result.render())
+
+    assert set(result.fits) == set(experiments.GENERALITY_KERNELS)
+    for name, report in result.fits.items():
+        assert report.mape_percent < 1.0, (name, report.mape_percent)
+        assert report.r_squared > 0.999, (name, report.r_squared)
+
+    # Traffic and rate differences must show up in the coefficients:
+    # memcpy moves half of DAXPY's inbound bytes per element...
+    daxpy = result.fits["daxpy"].model
+    memcpy = result.fits["memcpy"].model
+    assert memcpy.mem_coeff < daxpy.mem_coeff
+    # ...and axpby's 3.0 cycles/element beats daxpy's 2.6 rate.
+    axpby = result.fits["axpby"].model
+    assert axpby.compute_coeff > daxpy.compute_coeff

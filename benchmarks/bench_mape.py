@@ -1,0 +1,19 @@
+"""E5 — Eq. 2: per-N MAPE of the runtime model (< 1 % everywhere).
+
+Regenerates the paper's validation: for each N in {256, 512, 768,
+1024}, the mean absolute percentage error of the model over M in
+{1, 2, 4, 8, 16, 32}.
+"""
+
+from repro import experiments
+
+
+def test_eq2_mape_below_one_percent(bench_once):
+    result = bench_once(experiments.mape_experiment)
+    print()
+    print(result.render())
+
+    assert set(result.per_n) == {256, 512, 768, 1024}
+    for n, value in result.per_n.items():
+        assert value < 1.0, f"MAPE({n}) = {value:.3f} %"
+    assert result.worst < 1.0

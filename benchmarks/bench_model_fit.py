@@ -1,0 +1,35 @@
+"""E4 — Eq. 1: the analytic runtime model, fitted from measurements.
+
+The paper derives t(M,N) = 367 + N/4 + 2.6N/(8M) by inspecting the RTL
+and the compiled binary; we recover the same structure by least-squares
+fitting the measured sweep, and compare coefficients side by side.
+"""
+
+import pytest
+
+from repro import experiments
+
+
+def test_eq1_model_fit(bench_once):
+    result = bench_once(experiments.fit_model)
+    print()
+    print(result.render())
+
+    model = result.model
+    paper = result.paper_model
+    # Constant overhead and memory coefficient land on the paper's.
+    assert model.t0 == pytest.approx(paper.t0, abs=5)
+    assert model.mem_coeff == pytest.approx(paper.mem_coeff, abs=0.005)
+    # Compute coefficient includes our visible write-back (DESIGN.md §2).
+    assert model.compute_coeff == pytest.approx(0.45, abs=0.01)
+    # The fit explains essentially all variance.
+    assert result.report.r_squared > 0.9999
+
+
+def test_eq1_baseline_needs_dispatch_term(bench_once):
+    """Fitting the baseline with the dispatch column recovers the
+    ~10-cycle-per-cluster doorbell cost that Eq. 1 (extended) lacks."""
+    result = bench_once(experiments.fit_model, variant_config="baseline")
+    print()
+    print(result.report.summary())
+    assert result.model.dispatch_coeff == pytest.approx(10.0, abs=2.0)

@@ -1,0 +1,28 @@
+"""E11 — co-operative execution: host work hidden behind an offload.
+
+The plain offload leaves the host idle for the job's duration; the
+overlapped protocol dispatches, runs host-side work, then synchronizes.
+This bench sweeps the host job's size across the accelerator job's
+runtime and shows the exposed wait collapsing to the WFI fall-through
+cost once the host becomes the critical path.
+"""
+
+from repro import experiments
+
+
+def test_overlapped_execution(bench_once):
+    result = bench_once(experiments.overlap_experiment)
+    print()
+    print(result.render())
+
+    rows = result.rows
+    for host_n, (sequential, overlapped, _exposed) in rows.items():
+        assert overlapped < sequential, host_n
+    # Small host jobs: fully hidden (saving == the host job's cycles,
+    # so the saving grows with the host job)...
+    savings = [rows[n][0] - rows[n][1] for n in sorted(rows)]
+    assert savings == sorted(savings)
+    # ...until the host dominates: exposed wait collapses to ~the WFI
+    # fall-through for the largest host job.
+    largest = max(rows)
+    assert rows[largest][2] <= 24

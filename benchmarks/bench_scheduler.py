@@ -1,0 +1,27 @@
+"""E9 — the model as a scheduler: placement policies on a job stream.
+
+The paper's closing claim is that its runtime model enables offload
+decisions; this bench applies it at workload scale — a stream of
+fine-grained jobs placed per job by the fitted models — against the
+static policies a system without the model would use.
+"""
+
+from repro import experiments
+
+
+def test_scheduler_policies(bench_once):
+    result = bench_once(experiments.scheduler_experiment)
+    print()
+    print(result.render())
+
+    adaptive = result.makespans["model_driven"]
+    # The adaptive policy beats every static one...
+    for policy, makespan in result.makespans.items():
+        if policy != "model_driven":
+            assert adaptive <= makespan, policy
+    # ...dramatically so against host-only on this mix,
+    assert result.speedup_over("always_host") > 3.0
+    # ...and visibly against offload-everything (the fine-grained jobs).
+    assert result.speedup_over("always_offload_32") > 1.05
+    # It genuinely mixes placements.
+    assert 0 < result.offloaded["model_driven"] < result.num_jobs

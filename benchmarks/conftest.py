@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact (see DESIGN.md
+§4).  The pytest-benchmark timings measure our *simulator's* wall-clock
+cost for the experiment; the reproduced tables (the paper's numbers)
+are printed to stdout — run with ``-s`` to see them — and their shapes
+are asserted so the harness doubles as a regression gate.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single timed round (experiments are
+    deterministic, so repetition only adds wall time)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Fixture form of :func:`run_once`."""
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

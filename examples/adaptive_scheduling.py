@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Model-driven job placement on a fine-grained workload stream.
+
+The paper closes by showing its runtime model "can be used to derive
+optimal offloading parameters".  This example takes that to workload
+scale — the setting the introduction motivates, where an application
+issues a stream of small, mixed data-parallel jobs:
+
+1. characterize the platform once: fit the Eq.-1 offload model and a
+   host-execution model per kernel, from measurements;
+2. for every incoming job, decide host vs accelerator (and the offload
+   width) from the models;
+3. compare against the static policies a model-less system would use.
+
+Run with::
+
+    python examples/adaptive_scheduling.py
+"""
+
+import collections
+
+from repro import ManticoreSystem, SoCConfig
+from repro.energy import EnergyMeter
+from repro.workload import (
+    AlwaysHost,
+    AlwaysOffload,
+    characterize_platform,
+    generate_workload,
+    run_workload,
+)
+
+
+def main() -> None:
+    config = SoCConfig.extended()
+    kernels = ("daxpy", "memcpy", "scale", "dot")
+
+    print("characterizing the platform (one-time, offline)...")
+    adaptive = characterize_platform(config, kernels)
+    for kernel, model in adaptive.offload_models.items():
+        print(f"  {kernel:7s} {model.describe()}")
+
+    jobs = generate_workload(num_jobs=60, kernels=kernels, min_n=16,
+                             max_n=4096, seed=11)
+    sizes = sorted(job.n for job in jobs)
+    print(f"\nworkload: {len(jobs)} jobs, sizes {sizes[0]}..{sizes[-1]} "
+          f"(median {sizes[len(sizes) // 2]})")
+
+    print(f"\n{'policy':20s} {'makespan':>10} {'offloaded':>10} "
+          f"{'energy [uJ]':>12}")
+    for policy in (AlwaysHost(), AlwaysOffload(32), adaptive):
+        system = ManticoreSystem(config)
+        meter = EnergyMeter(system)
+        meter.start()
+        result = run_workload(system, jobs, policy)
+        energy = meter.stop()
+        print(f"{policy.name:20s} {result.makespan_cycles:10d} "
+              f"{result.offloaded_jobs:10d} {energy.total / 1e6:12.2f}")
+
+    # Where did the adaptive policy draw the line?
+    system = ManticoreSystem(config)
+    result = run_workload(system, jobs, adaptive)
+    boundary = collections.defaultdict(list)
+    for outcome in result.outcomes:
+        key = "offload" if outcome.placement.offload else "host"
+        boundary[key].append(outcome.spec.n)
+    print(f"\nadaptive placement boundary: host jobs up to "
+          f"n={max(boundary['host'])}, offloads from "
+          f"n={min(boundary['offload'])} — the offload-overhead floor "
+          "in action")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Offload sizing for a latency-critical control loop (the Eq. 3 use case).
+
+Scenario: a controller must apply a 1024-element DAXPY update inside a
+fixed cycle budget, and wants to reserve as few accelerator clusters as
+possible for it (the rest of the fabric serves other tenants).  This is
+exactly the paper's offload decision problem:
+
+1. characterize the platform once — measure an (N, M) sweep and fit the
+   runtime model (Eq. 1);
+2. invert the model under the deadline (Eq. 3) with a guard band equal
+   to the model's validated error (<1 %, Eq. 2);
+3. verify the decision by running the chosen configuration.
+
+Run with::
+
+    python examples/deadline_tuning.py
+"""
+
+from repro import ManticoreSystem, SoCConfig, min_clusters_for_deadline, offload_daxpy
+from repro.analysis.fitting import fit_report
+from repro.core.model import OffloadModel
+from repro.core.sweep import sweep
+from repro.errors import DecisionError
+
+
+def main() -> None:
+    config = SoCConfig.extended()
+
+    # --- 1. Platform characterization (done once, offline) -------------
+    print("characterizing the platform (24-point sweep)...")
+    measurements = sweep(config, "daxpy", n_values=(256, 512, 768, 1024),
+                         m_values=(1, 2, 4, 8, 16, 32))
+    model = OffloadModel.fit(measurements.triples(), label="platform model")
+    report = fit_report(model, measurements.triples())
+    print(report.summary())
+
+    # --- 2 + 3. Decide and verify for a range of deadlines --------------
+    n = 1024
+    print(f"\nsizing the offload for a {n}-element update:")
+    print(f"{'deadline':>10} {'M_min':>6} {'predicted':>10} "
+          f"{'measured':>9} {'ok':>3}")
+    for deadline in (1100.0, 900.0, 800.0, 750.0, 700.0, 660.0, 640.0):
+        guarded = deadline * 0.99  # Eq. 2's error bound as a guard band
+        try:
+            m_min = min_clusters_for_deadline(model, n, guarded,
+                                              max_clusters=32)
+        except DecisionError as error:
+            print(f"{deadline:10.0f} {'--':>6} {'--':>10} {'--':>9}  "
+                  f"infeasible ({error})")
+            continue
+        measured = offload_daxpy(ManticoreSystem(config), n=n,
+                                 num_clusters=m_min).runtime_cycles
+        ok = "yes" if measured <= deadline else "NO"
+        print(f"{deadline:10.0f} {m_min:6d} "
+              f"{model.predict(m_min, n):10.1f} {measured:9d} {ok:>3}")
+
+    floor = model.serial_cycles(n)
+    print(f"\nserial floor at N={n}: {floor:.0f} cycles — no cluster "
+          "count can beat it (Amdahl).")
+
+
+if __name__ == "__main__":
+    main()

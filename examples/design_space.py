@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Hardware design-space exploration with the simulator.
+
+The paper argues for *co-designing* hardware and offload routines.
+With a parameterized simulator we can ask the follow-up questions a
+hardware architect would:
+
+- how does the baseline's optimum cluster count move as the dispatch
+  path gets slower or faster? (the co-design pressure)
+- how much shared memory bandwidth does the DAXPY offload actually
+  need before compute becomes the bottleneck?
+- what does each extension contribute on its own? (A1 ablation)
+
+Run with::
+
+    python examples/design_space.py
+"""
+
+from repro import ManticoreSystem, SoCConfig, offload_daxpy
+from repro.analysis.tables import Table
+from repro.experiments import ablation_dispatch, ablation_features
+
+
+def bandwidth_exploration() -> None:
+    """Runtime vs shared-channel width at full fabric width."""
+    table = Table(["read channel [B/cycle]", "runtime [cycles]",
+                   "read-channel busy [cycles]"],
+                  title="DAXPY n=4096, M=32: shared-bandwidth sensitivity")
+    for width in (16, 32, 64, 128, 256):
+        config = SoCConfig.extended(mem_read_width_bytes=width,
+                                    mem_write_width_bytes=width)
+        system = ManticoreSystem(config)
+        result = offload_daxpy(system, n=4096, num_clusters=32)
+        table.add_row([width, result.runtime_cycles,
+                       system.read_channel.busy_cycles])
+    print(table.render())
+    print("doubling bandwidth past 64 B/cycle stops paying once the "
+          "constant overhead and compute dominate.\n")
+
+
+def dispatch_exploration() -> None:
+    """Where the baseline's sweet spot sits vs dispatch cost (A2)."""
+    ablation = ablation_dispatch(n=1024, occupancies=(2, 4, 8, 16, 32))
+    print(ablation.render())
+    print("slower dispatch pushes the baseline's optimum toward fewer "
+          "clusters — exactly the co-design pressure the paper's "
+          "multicast extension removes.\n")
+
+
+def feature_contributions() -> None:
+    """What each extension buys on its own (A1)."""
+    ablation = ablation_features(n=1024, m_values=(4, 16, 32))
+    print(ablation.render())
+    runtimes = ablation.runtimes
+    saved_mcast = runtimes["baseline"][32] - runtimes["multicast_only"][32]
+    saved_sync = runtimes["baseline"][32] - runtimes["hw_sync_only"][32]
+    print(f"at M=32, multicast alone saves {saved_mcast} cycles and the "
+          f"sync unit alone saves {saved_sync}; the dispatch path is the "
+          "dominant overhead at scale.\n")
+
+
+def main() -> None:
+    bandwidth_exploration()
+    dispatch_exploration()
+    feature_contributions()
+
+
+if __name__ == "__main__":
+    main()

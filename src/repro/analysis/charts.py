@@ -1,0 +1,70 @@
+"""ASCII charts: terminal-friendly renderings of the paper's figures."""
+
+from __future__ import annotations
+
+import typing
+
+
+def bar_chart(series: typing.Mapping[str, float], width: int = 50,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart of labelled values.
+
+    >>> print(bar_chart({"a": 2.0, "b": 4.0}, width=4))
+    a | ##   2
+    b | #### 4
+    """
+    if not series:
+        raise ValueError("bar chart of an empty series")
+    if width <= 0:
+        raise ValueError(f"chart width must be positive, got {width}")
+    peak = max(series.values())
+    if peak <= 0:
+        raise ValueError("bar chart requires at least one positive value")
+    label_width = max(len(str(label)) for label in series)
+    lines = [title] if title else []
+    for label, value in series.items():
+        bar = "#" * max(0, round(width * value / peak))
+        shown = f"{value:g}{unit}"
+        lines.append(f"{str(label).ljust(label_width)} | {bar.ljust(width)} {shown}")
+    return "\n".join(lines)
+
+
+def line_chart(series: typing.Mapping[str, typing.Mapping[float, float]],
+               width: int = 60, height: int = 16, title: str = "") -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    ``series`` maps a series name to ``{x: y}``.  Each series is drawn
+    with its own glyph (``*``, ``o``, ``+``, ``x``, ...); axes are
+    annotated with min/max.  Intended for quick terminal inspection of
+    figure shapes, not publication graphics.
+    """
+    if not series:
+        raise ValueError("line chart of an empty series dict")
+    glyphs = "*o+x@%&="
+    points = [(x, y) for data in series.values() for x, y in data.items()]
+    if not points:
+        raise ValueError("line chart with no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, data) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in data.items():
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = [title] if title else []
+    lines.append(f"y_max = {y_hi:g}")
+    lines.extend("  |" + "".join(row) for row in grid)
+    lines.append("  +" + "-" * width)
+    lines.append(f"  y_min = {y_lo:g};  x: {x_lo:g} .. {x_hi:g}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(series))
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""CSV export of sweep measurements and grids."""
+
+from __future__ import annotations
+
+import csv
+import io
+import typing
+
+from repro.core.sweep import SweepResult
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """Render a sweep as CSV text (header + one row per point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["kernel", "n", "num_clusters", "variant",
+                     "runtime_cycles", "setup", "dispatch",
+                     "completion_wait", "sync_overhead"])
+    for point in result:
+        phases = point.phases
+        writer.writerow([
+            point.kernel_name, point.n, point.num_clusters, point.variant,
+            point.runtime_cycles,
+            phases.get("setup", ""), phases.get("dispatch", ""),
+            phases.get("completion_wait", ""),
+            phases.get("sync_overhead", ""),
+        ])
+    return buffer.getvalue()
+
+
+def grid_to_csv(grid: typing.Mapping[typing.Tuple[int, int], float],
+                value_name: str = "value") -> str:
+    """Render a ``{(M, N): value}`` grid as long-format CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["num_clusters", "n", value_name])
+    for (m, n), value in sorted(grid.items()):
+        writer.writerow([m, n, value])
+    return buffer.getvalue()

@@ -1,0 +1,124 @@
+"""Parameter sensitivity: how model coefficients respond to any knob.
+
+Ablation A2 sweeps one parameter (the dispatch cost) by hand; this tool
+generalizes it: sweep *any* :class:`~repro.soc.config.SoCConfig` field,
+re-fit the Eq.-1 model at each value, and report how the coefficients
+move.  Because the model's terms map one-to-one onto mechanisms (see
+``docs/modeling.md``), the sensitivity table tells an architect directly
+which hardware knob buys which term — e.g. halving
+``mem_read_width_bytes`` doubles the memory coefficient and leaves the
+compute coefficient alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.analysis.tables import Table
+from repro.core.model import OffloadModel
+from repro.core.sweep import sweep
+from repro.errors import ConfigError
+from repro.soc.config import SoCConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityPoint:
+    """The fitted model at one parameter value."""
+
+    value: int
+    model: OffloadModel
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityResult:
+    """A parameter sweep with per-value fitted models."""
+
+    parameter: str
+    kernel: str
+    points: typing.Tuple[SensitivityPoint, ...]
+
+    def coefficient(self, name: str) -> typing.Dict[int, float]:
+        """``{parameter_value: coefficient}`` for one model coefficient."""
+        return {point.value: getattr(point.model, name)
+                for point in self.points}
+
+    def most_sensitive_coefficient(self) -> str:
+        """The coefficient with the largest relative swing over the sweep.
+
+        The constant term is compared on equal footing by normalizing
+        every coefficient to its value at the sweep's first point.
+        """
+        best_name, best_swing = "t0", 0.0
+        for name in ("t0", "mem_coeff", "compute_coeff", "dispatch_coeff"):
+            series = [getattr(p.model, name) for p in self.points]
+            baseline = series[0]
+            if baseline <= 0:
+                span = max(series) - min(series)
+                swing = float("inf") if span > 1e-9 else 0.0
+            else:
+                swing = (max(series) - min(series)) / baseline
+            if swing > best_swing:
+                best_name, best_swing = name, swing
+        return best_name
+
+    def render(self) -> str:
+        table = Table([self.parameter, "t0", "mem", "compute", "dispatch"],
+                      title=f"sensitivity of the fitted {self.kernel} "
+                            f"model to SoCConfig.{self.parameter}")
+        for point in self.points:
+            model = point.model
+            table.add_row([point.value, model.t0, model.mem_coeff,
+                           model.compute_coeff, model.dispatch_coeff])
+        note = (f"most sensitive coefficient: "
+                f"{self.most_sensitive_coefficient()}")
+        return "\n\n".join([table.render(), note])
+
+
+def sensitivity(parameter: str, values: typing.Sequence[int],
+                kernel: str = "daxpy", design: str = "extended",
+                n_values: typing.Sequence[int] = (256, 512, 1024),
+                m_values: typing.Sequence[int] = (1, 2, 4, 8, 16, 32),
+                **config_overrides) -> SensitivityResult:
+    """Sweep one config field and fit the model at each value.
+
+    Parameters
+    ----------
+    parameter:
+        Name of a :class:`SoCConfig` field (validated).
+    design:
+        ``"extended"`` fits the 3-coefficient model; ``"baseline"``
+        includes the dispatch column.
+
+    Raises
+    ------
+    ConfigError
+        On unknown fields or empty value lists.
+    """
+    field_names = {field.name for field in dataclasses.fields(SoCConfig)}
+    if parameter not in field_names:
+        raise ConfigError(
+            f"SoCConfig has no field {parameter!r}; see "
+            "repro.soc.config.SoCConfig")
+    if not values:
+        raise ConfigError("sensitivity sweep needs at least one value")
+    if design not in ("extended", "baseline"):
+        raise ConfigError(f"unknown design {design!r}")
+
+    points = []
+    for value in values:
+        overrides = dict(config_overrides)
+        overrides[parameter] = value
+        if design == "extended":
+            config = SoCConfig.extended(**overrides)
+        else:
+            config = SoCConfig.baseline(**overrides)
+        usable_ms = [m for m in m_values if m <= config.num_clusters]
+        grid = sweep(config, kernel, n_values, usable_ms, verify=False)
+        model = OffloadModel.fit(
+            grid.triples(),
+            include_dispatch_term=(design == "baseline"),
+            label=f"{parameter}={value}")
+        points.append(SensitivityPoint(value=value, model=model))
+    return SensitivityResult(parameter=parameter, kernel=kernel,
+                             points=tuple(points))

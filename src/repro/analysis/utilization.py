@@ -1,0 +1,64 @@
+"""Resource-utilization reporting for a simulated system.
+
+After a run, every contended resource in the SoC knows how busy it was;
+this report collects them into the table an architect looks at first:
+is the bottleneck the memory channel, the host port, or the atomics
+path?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.analysis.tables import Table
+from repro.soc.manticore import ManticoreSystem
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceUsage:
+    """Activity of one serial resource over the whole simulation."""
+
+    name: str
+    requests: int
+    busy_cycles: int
+    utilization: float
+
+
+def collect_utilization(system: ManticoreSystem,
+                        include_idle: bool = False
+                        ) -> typing.List[ResourceUsage]:
+    """Usage of every contended resource (idle ones skipped by default)."""
+    resources = [
+        system.read_channel,
+        system.write_channel,
+        system.noc.host_port,
+        system.noc.amo_port,
+        *system.noc.cluster_ports,
+    ]
+    usages = []
+    for resource in resources:
+        if not include_idle and resource.requests == 0:
+            continue
+        usages.append(ResourceUsage(
+            name=resource.name,
+            requests=resource.requests,
+            busy_cycles=resource.busy_cycles,
+            utilization=resource.utilization(),
+        ))
+    usages.sort(key=lambda usage: usage.busy_cycles, reverse=True)
+    return usages
+
+
+def utilization_report(system: ManticoreSystem,
+                       include_idle: bool = False) -> str:
+    """Render the utilization table for a system that has run."""
+    usages = collect_utilization(system, include_idle=include_idle)
+    table = Table(["resource", "requests", "busy [cycles]", "utilization"],
+                  title=f"resource utilization over {system.sim.now} cycles")
+    for usage in usages:
+        table.add_row([usage.name, usage.requests, usage.busy_cycles,
+                       f"{100 * usage.utilization:.1f} %"])
+    if not usages:
+        table.add_row(["(no traffic)", 0, 0, "0.0 %"])
+    return table.render()

@@ -1,0 +1,23 @@
+"""Compute-cluster models (Snitch-style: 8 worker cores + 1 DM core).
+
+A cluster executes offloaded job slices.  The *data-mover* (DM) core
+runs the device-side runtime (:mod:`repro.cluster.dm_core`): it sleeps
+until the host writes a job-descriptor pointer into the cluster's
+mailbox, fetches and decodes the descriptor, stages the slice's working
+set into the TCDM with the DMA engine, releases the worker cores,
+synchronizes on the hardware barrier, writes results back and signals
+completion to the host.
+
+Worker cores (:mod:`repro.cluster.worker`) model per-core compute time
+with the kernel's calibrated streaming-loop rate; the slowest core's
+sub-slice bounds the cluster's compute phase, so uneven splits show up
+as real skew.
+"""
+
+from repro.cluster.barrier import Barrier
+from repro.cluster.cluster import Cluster
+from repro.cluster.dma import DmaEngine
+from repro.cluster.mailbox import Mailbox
+from repro.cluster.worker import WorkerCore
+
+__all__ = ["Barrier", "Cluster", "DmaEngine", "Mailbox", "WorkerCore"]

@@ -1,0 +1,69 @@
+"""Reusable cluster hardware barrier.
+
+Snitch-style clusters provide a single-cycle-arbitration hardware
+barrier; crossing it costs a small fixed latency once the last party
+arrives.  The barrier is generation-counted so the same instance can be
+reused phase after phase (wake → compute → write-back) without
+re-allocation races.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.sim import Event, Simulator
+
+
+class Barrier:
+    """A reusable barrier for a fixed set of parties."""
+
+    def __init__(self, sim: Simulator, parties: int, latency: int = 2,
+                 name: str = "barrier") -> None:
+        if parties <= 0:
+            raise SimulationError(f"{name}: parties must be positive, got {parties}")
+        if latency < 0:
+            raise SimulationError(f"{name}: negative latency {latency}")
+        self.sim = sim
+        self.parties = parties
+        self.latency = latency
+        self.name = name
+        self._generation = 0
+        self._arrived = 0
+        self._release: Event = sim.event(name=f"{name}.gen0")
+
+    def wait(self) -> typing.Generator:
+        """Arrive at the barrier; resumes when all parties have arrived.
+
+        Returns the generation number that was crossed.
+        """
+        generation = self._generation
+        release = self._release
+        self._arrived += 1
+        if self._arrived > self.parties:  # pragma: no cover - guarded below
+            raise SimulationError(f"{self.name}: more arrivals than parties")
+        if self._arrived == self.parties:
+            # Last arrival: open the next generation, release this one.
+            self._generation += 1
+            self._arrived = 0
+            self._release = self.sim.event(
+                name=f"{self.name}.gen{self._generation}")
+            if self.latency:
+                self.sim.schedule(
+                    self.latency, lambda _arg: release.trigger(generation))
+            else:
+                release.trigger(generation)
+            yield release
+        else:
+            yield release
+        return generation
+
+    @property
+    def generation(self) -> int:
+        """Number of fully-crossed generations so far."""
+        return self._generation
+
+    @property
+    def waiting(self) -> int:
+        """Parties currently blocked at the barrier."""
+        return self._arrived

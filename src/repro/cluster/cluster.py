@@ -1,0 +1,89 @@
+"""The cluster top-level: components + the DM core process."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.barrier import Barrier
+from repro.cluster.dm_core import serve_jobs
+from repro.cluster.dma import DmaEngine
+from repro.cluster.mailbox import Mailbox
+from repro.cluster.worker import WorkerCore
+from repro.errors import ConfigError
+from repro.mem.memory import MainMemory
+from repro.mem.tcdm import Tcdm
+from repro.noc.xbar import Interconnect
+from repro.sim import Simulator, ThroughputChannel, TraceRecorder
+
+if typing.TYPE_CHECKING:
+    from repro.soc.fabricbarrier import FabricBarrier
+
+
+class Cluster:
+    """One compute cluster: DM core, worker cores, TCDM, DMA, barrier.
+
+    The cluster is passive until :meth:`start` spawns the DM core's
+    :func:`~repro.cluster.dm_core.serve_jobs` loop; after that it serves
+    every job the host dispatches to its mailbox for the lifetime of the
+    simulation.
+    """
+
+    def __init__(self, sim: Simulator, cluster_id: int, noc: Interconnect,
+                 memory: MainMemory, tcdm: Tcdm, mailbox: Mailbox,
+                 read_channel: ThroughputChannel,
+                 write_channel: ThroughputChannel,
+                 fabric_barrier: typing.Optional["FabricBarrier"] = None,
+                 num_workers: int = 8,
+                 wake_latency: int = 4,
+                 dm_decode_cycles: int = 12,
+                 dma_setup_cycles: int = 8,
+                 barrier_latency: int = 2,
+                 worker_wake_latency: int = 2,
+                 trace: typing.Optional[TraceRecorder] = None) -> None:
+        if num_workers <= 0:
+            raise ConfigError(
+                f"cluster {cluster_id} needs at least one worker core, "
+                f"got {num_workers}")
+        if wake_latency < 0 or dm_decode_cycles < 0:
+            raise ConfigError(
+                f"cluster {cluster_id}: negative DM-core latency")
+        self.sim = sim
+        self.cluster_id = cluster_id
+        self.noc = noc
+        self.memory = memory
+        self.tcdm = tcdm
+        self.mailbox = mailbox
+        self.fabric_barrier = fabric_barrier
+        self.wake_latency = wake_latency
+        self.dm_decode_cycles = dm_decode_cycles
+        self.trace = (trace if trace is not None
+                      else TraceRecorder(sim, enabled=False))
+        self.dma = DmaEngine(
+            sim, read_channel, write_channel, setup_cycles=dma_setup_cycles,
+            name=f"cluster{cluster_id}.dma")
+        self.workers = [
+            WorkerCore(sim, cluster_id, core_id,
+                       wake_latency=worker_wake_latency)
+            for core_id in range(num_workers)
+        ]
+        # Workers plus the DM core meet at the hardware barrier.
+        self.barrier = Barrier(
+            sim, parties=num_workers + 1, latency=barrier_latency,
+            name=f"cluster{cluster_id}.barrier")
+        self.jobs_completed = 0
+        self._dm_process = None
+
+    def start(self):
+        """Spawn the DM core's job-serving loop (idempotent)."""
+        if self._dm_process is None:
+            self._dm_process = self.sim.spawn(
+                serve_jobs(self), name=f"cluster{self.cluster_id}.dm")
+        return self._dm_process
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Cluster {self.cluster_id} workers={self.num_workers} "
+                f"jobs={self.jobs_completed}>")

@@ -1,0 +1,288 @@
+"""The DM-core device runtime: serving offloaded jobs.
+
+This is the device-side half of the offload protocol.  Each cluster's
+data-mover core runs :func:`serve_jobs` forever:
+
+1. sleep clock-gated until the host rings the mailbox with a job
+   pointer;
+2. fetch the job descriptor from shared memory (one or two burst
+   reads), decode it, and compute this cluster's work slice;
+3. stage the slice's working set into the TCDM via the DMA engine
+   (contending with every other cluster on the shared read channel);
+4. release the worker cores; every core processes its sub-slice and
+   meets the DM core at the hardware barrier;
+5. write results back via the shared write channel;
+6. signal completion — an atomic fetch-and-add on the descriptor's flag
+   (baseline) or a posted write to the credit-counter sync unit
+   (extended), per the descriptor's ``sync_mode``.
+
+Functional state changes (reading operands, writing results) happen at
+the simulated instants the corresponding transfers complete, so memory
+always holds an architecturally-consistent snapshot.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import abi
+from repro.errors import OffloadError
+from repro.kernels.base import WorkSlice, split_range
+from repro.cluster.worker import split_among_cores
+
+if typing.TYPE_CHECKING:
+    from repro.cluster.cluster import Cluster
+
+#: Words fetched by the first descriptor burst (one 64-byte line).
+FIRST_BURST_WORDS = 8
+
+
+def serve_jobs(cluster: "Cluster") -> typing.Generator:
+    """The DM core's main loop (a simulation process body)."""
+    while True:
+        pointer = yield from cluster.mailbox.wait_job()
+        yield from _run_job(cluster, pointer)
+        cluster.jobs_completed += 1
+
+
+def _run_job(cluster: "Cluster", pointer: int) -> typing.Generator:
+    sim = cluster.sim
+    label = f"cluster{cluster.cluster_id}"
+    cluster.trace.record(label, "doorbell", pointer)
+
+    # Clock-ungate latency before the DM core executes its first
+    # instruction after the doorbell.
+    if cluster.wake_latency:
+        yield cluster.wake_latency
+    cluster.trace.record(label, "awake")
+
+    desc = yield from _fetch_descriptor(cluster, pointer)
+    if cluster.dm_decode_cycles:
+        yield cluster.dm_decode_cycles
+    cluster.trace.record(label, "decoded", desc.kernel_name)
+
+    kernel = desc.kernel
+    slices = split_range(desc.n, desc.num_clusters)
+    rank = cluster.cluster_id - desc.first_cluster
+    if not 0 <= rank < desc.num_clusters:
+        raise OffloadError(
+            f"{label} received a job for clusters "
+            f"[{desc.first_cluster}, "
+            f"{desc.first_cluster + desc.num_clusters}); the host "
+            "dispatched outside the job's range"
+        )
+    work = slices[rank]
+
+    # Synchronize the job start across all participating clusters: the
+    # collective DMA/compute phases must not begin before every member
+    # holds its arguments (see repro.soc.fabricbarrier).  This is why
+    # the baseline's sequential dispatch cost adds to the runtime
+    # instead of hiding behind the first clusters' DMA.  The group ID
+    # (the job's first cluster) keeps concurrent space-shared jobs on
+    # independent barrier counters.
+    if cluster.fabric_barrier is not None:
+        yield from cluster.fabric_barrier.arrive(
+            desc.num_clusters, group=desc.first_cluster)
+        cluster.trace.record(label, "start_barrier_crossed")
+
+    if not work.empty:
+        if desc.exec_mode == abi.EXEC_MODE_DOUBLE_BUFFERED:
+            yield from _execute_double_buffered(cluster, desc, kernel, work)
+        else:
+            yield from _execute_phased(cluster, desc, kernel, work)
+
+    # --- Signal completion --------------------------------------------------
+    yield from _signal_completion(cluster, desc)
+    cluster.trace.record(label, "completion_signalled")
+
+
+def _execute_phased(cluster: "Cluster", desc: abi.JobDescriptor, kernel,
+                    work) -> typing.Generator:
+    """The paper's protocol: stage the whole slice, compute, write back.
+
+    The three phases are strictly sequential on the cluster, which is
+    what makes the measured runtime obey Eq. 1's additive structure.
+    """
+    sim = cluster.sim
+    label = f"cluster{cluster.cluster_id}"
+    footprint = kernel.slice_tcdm_bytes(work.lo, work.hi, desc.n)
+    if footprint > cluster.tcdm.size_bytes:
+        raise OffloadError(
+            f"{label}: slice working set of {footprint} bytes exceeds "
+            f"the {cluster.tcdm.size_bytes}-byte TCDM; offload to more "
+            "clusters or tile the job"
+        )
+
+    # --- Stage operands in ------------------------------------------
+    bytes_in = kernel.slice_bytes_in(work.lo, work.hi, desc.n)
+    yield from cluster.dma.transfer_in(bytes_in)
+    inputs = {
+        name: cluster.memory.read_f64(
+            desc.input_addrs[name], kernel.input_length(name, desc.n))
+        for name in kernel.input_names
+    }
+    cluster.trace.record(label, "dma_in_done", bytes_in)
+
+    # --- Compute ------------------------------------------------------
+    sub_slices = split_among_cores(work, len(cluster.workers))
+    for worker, sub in zip(cluster.workers, sub_slices):
+        sim.spawn(
+            _worker_body(cluster, worker, kernel, sub, desc.n),
+            name=f"{label}.core{worker.core_id}",
+        )
+    yield from cluster.barrier.wait()
+    fragments = kernel.compute_slice(desc.n, desc.scalars, inputs, work)
+    cluster.trace.record(label, "compute_done")
+
+    # --- Write results back --------------------------------------------
+    bytes_out = kernel.slice_bytes_out(work.lo, work.hi, desc.n)
+    yield from cluster.dma.transfer_out(bytes_out)
+    for name, (start, values) in fragments.items():
+        cluster.memory.write_f64(
+            desc.output_addrs[name] + 8 * start, values)
+    cluster.trace.record(label, "dma_out_done", bytes_out)
+
+
+#: Double buffering targets this many chunks per slice (more when the
+#: TCDM cannot hold two of them, fewer when the slice is tiny).
+DBUF_TARGET_CHUNKS = 4
+#: Slices below this many elements are not worth pipelining.
+DBUF_MIN_ELEMENTS = 32
+
+
+def _execute_double_buffered(cluster: "Cluster", desc: abi.JobDescriptor,
+                             kernel, work) -> typing.Generator:
+    """Chunked load/compute/write-back pipeline (the classic Snitch
+    double-buffering idiom, an extension over the paper's protocol).
+
+    The slice is split into chunks; while chunk *k* computes, chunk
+    *k+1* streams in and chunk *k-1* streams out, so the memory time
+    hides behind compute (or vice versa) instead of adding to it.  The
+    cost is one loop setup per chunk and two staging buffers in the
+    TCDM.  Only element-wise kernels qualify (reductions emit one
+    output per *slice*, which chunking would corrupt); tiny slices fall
+    back to the phased protocol.
+    """
+    sim = cluster.sim
+    label = f"cluster{cluster.cluster_id}"
+    for name in kernel.output_names:
+        if kernel.output_length(name, desc.n, desc.num_clusters) != desc.n:
+            raise OffloadError(
+                f"{label}: double buffering requires an element-wise "
+                f"kernel; {kernel.name!r} output {name!r} depends on the "
+                "offload shape"
+            )
+
+    if work.elements < DBUF_MIN_ELEMENTS:
+        yield from _execute_phased(cluster, desc, kernel, work)
+        return
+
+    footprint = kernel.slice_tcdm_bytes(work.lo, work.hi, desc.n)
+    min_chunks = -(-2 * footprint // cluster.tcdm.size_bytes)
+    num_chunks = min(work.elements, max(DBUF_TARGET_CHUNKS, min_chunks))
+    chunks = [
+        WorkSlice(index=chunk.index, lo=work.lo + chunk.lo,
+                  hi=work.lo + chunk.hi)
+        for chunk in split_range(work.elements, num_chunks)
+    ]
+    worst = max(kernel.slice_tcdm_bytes(c.lo, c.hi, desc.n) for c in chunks)
+    if 2 * worst > cluster.tcdm.size_bytes:
+        raise OffloadError(
+            f"{label}: two {worst}-byte double-buffer chunks exceed the "
+            f"{cluster.tcdm.size_bytes}-byte TCDM; offload to more clusters"
+        )
+
+    loaded = [sim.event(name=f"{label}.dbuf.loaded{k}")
+              for k in range(num_chunks)]
+    computed = [sim.event(name=f"{label}.dbuf.computed{k}")
+                for k in range(num_chunks)]
+    written = [sim.event(name=f"{label}.dbuf.written{k}")
+               for k in range(num_chunks)]
+    inputs_box: typing.Dict[str, typing.Any] = {}
+    fragments_box: typing.List = [None] * num_chunks
+
+    def loader() -> typing.Generator:
+        for k, chunk in enumerate(chunks):
+            if k >= 2:
+                # Two staging buffers: reuse chunk k-2's once written out.
+                yield written[k - 2]
+            nbytes = kernel.slice_bytes_in(chunk.lo, chunk.hi, desc.n)
+            yield from cluster.dma.transfer_in(nbytes)
+            if not inputs_box:
+                inputs_box.update({
+                    name: cluster.memory.read_f64(
+                        desc.input_addrs[name],
+                        kernel.input_length(name, desc.n))
+                    for name in kernel.input_names
+                })
+            loaded[k].trigger()
+        cluster.trace.record(label, "dma_in_done",
+                             kernel.slice_bytes_in(work.lo, work.hi, desc.n))
+
+    def computer() -> typing.Generator:
+        for k, chunk in enumerate(chunks):
+            yield loaded[k]
+            sub_slices = split_among_cores(chunk, len(cluster.workers))
+            for worker, sub in zip(cluster.workers, sub_slices):
+                sim.spawn(
+                    _worker_body(cluster, worker, kernel, sub, desc.n),
+                    name=f"{label}.core{worker.core_id}.chunk{k}",
+                )
+            yield from cluster.barrier.wait()
+            fragments_box[k] = kernel.compute_slice(
+                desc.n, desc.scalars, inputs_box, chunk)
+            computed[k].trigger()
+        cluster.trace.record(label, "compute_done")
+
+    def writer() -> typing.Generator:
+        for k, chunk in enumerate(chunks):
+            yield computed[k]
+            nbytes = kernel.slice_bytes_out(chunk.lo, chunk.hi, desc.n)
+            yield from cluster.dma.transfer_out(nbytes)
+            for name, (start, values) in fragments_box[k].items():
+                cluster.memory.write_f64(
+                    desc.output_addrs[name] + 8 * start, values)
+            written[k].trigger()
+        cluster.trace.record(label, "dma_out_done",
+                             kernel.slice_bytes_out(work.lo, work.hi, desc.n))
+
+    sim.spawn(loader(), name=f"{label}.dbuf.loader")
+    sim.spawn(computer(), name=f"{label}.dbuf.computer")
+    sim.spawn(writer(), name=f"{label}.dbuf.writer")
+    yield written[-1]
+
+
+def _worker_body(cluster: "Cluster", worker, kernel, sub, n):
+    yield from worker.compute(kernel, sub, n)
+    yield from cluster.barrier.wait()
+
+
+def _fetch_descriptor(cluster: "Cluster", pointer: int) -> typing.Generator:
+    """Fetch and decode the descriptor: one line burst, then the tail."""
+    noc = cluster.noc
+    first = yield noc.cluster_read_burst(
+        cluster.cluster_id, pointer, FIRST_BURST_WORDS)
+    kernel = abi.kernel_from_id(first[0])
+    total = abi.descriptor_words(kernel)
+    words = list(first)
+    if total > FIRST_BURST_WORDS:
+        rest = yield noc.cluster_read_burst(
+            cluster.cluster_id, pointer + 8 * FIRST_BURST_WORDS,
+            total - FIRST_BURST_WORDS)
+        words.extend(rest)
+    return abi.decode_descriptor(words[:total])
+
+
+def _signal_completion(cluster: "Cluster",
+                       desc: abi.JobDescriptor) -> typing.Generator:
+    if desc.sync_mode == abi.SYNC_MODE_AMO:
+        # Atomic fetch-and-add on the shared flag; AMOs are non-posted,
+        # and all clusters serialize at the shared atomics port.
+        yield cluster.noc.cluster_amo_add(
+            cluster.cluster_id, desc.completion_addr, 1)
+        return
+    # Credit-counter unit: fire-and-forget posted write; the unit
+    # interrupts the host once the threshold is met.
+    handle = cluster.noc.cluster_write(
+        cluster.cluster_id, desc.completion_addr, 1)
+    yield handle.issued

@@ -1,0 +1,74 @@
+"""Cluster mailbox peripheral: the offload doorbell.
+
+The host dispatches a job by storing the job-descriptor pointer into a
+cluster's mailbox (one unicast store per cluster in the baseline; one
+multicast store for all clusters with the extension).  The store both
+carries the pointer and wakes the cluster's DM core from clock gating.
+
+Register map (word offsets from the cluster peripheral base):
+
+====== ========== =====================================================
+offset register   behaviour
+====== ========== =====================================================
+0x00   JOB_PTR    write: latch pointer, wake the DM core; read: last
+                  pointer written
+0x08   JOBS_RCVD  read-only count of doorbell rings (debug/statistics)
+====== ========== =====================================================
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mem.map import MmioDevice
+from repro.sim import Event, Simulator
+
+JOB_PTR_OFFSET = 0x00
+JOBS_RCVD_OFFSET = 0x08
+
+
+class Mailbox(MmioDevice):
+    """Doorbell + job-pointer latch for one cluster."""
+
+    def __init__(self, sim: Simulator, cluster_id: int) -> None:
+        self.sim = sim
+        self.cluster_id = cluster_id
+        self.job_ptr = 0
+        self.jobs_received = 0
+        self._waiters: typing.List[Event] = []
+
+    # ------------------------------------------------------------------
+    # MMIO interface (invoked by the interconnect at delivery time)
+    # ------------------------------------------------------------------
+    def read_register(self, offset: int) -> int:
+        if offset == JOB_PTR_OFFSET:
+            return self.job_ptr
+        if offset == JOBS_RCVD_OFFSET:
+            return self.jobs_received
+        return super().read_register(offset)
+
+    def write_register(self, offset: int, value: int) -> None:
+        if offset == JOB_PTR_OFFSET:
+            self.job_ptr = value
+            self.jobs_received += 1
+            waiters, self._waiters = self._waiters, []
+            for event in waiters:
+                event.trigger(value)
+            return
+        super().write_register(offset, value)
+
+    # ------------------------------------------------------------------
+    # Device-side interface
+    # ------------------------------------------------------------------
+    def wait_job(self) -> typing.Generator:
+        """DM-core wait for the next doorbell; returns the job pointer.
+
+        Rings are not queued: the DM core must be waiting before the
+        next ring arrives (the host never dispatches a new job before
+        observing completion of the previous one, which the offload
+        runtimes guarantee).
+        """
+        event = self.sim.event(name=f"mailbox{self.cluster_id}.ring")
+        self._waiters.append(event)
+        pointer = yield event
+        return pointer

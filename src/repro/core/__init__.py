@@ -1,0 +1,33 @@
+"""The paper's contribution: offload measurement, modeling, decisions.
+
+- :mod:`repro.core.offload` — run one offloaded job end to end on a
+  simulated SoC and measure it;
+- :mod:`repro.core.sweep` — measure grids of (kernel, N, M, variant)
+  points, the raw material of every figure;
+- :mod:`repro.core.model` — the analytic runtime model (Eq. 1,
+  generalized) and its least-squares fit;
+- :mod:`repro.core.mape` — the validation metric (Eq. 2);
+- :mod:`repro.core.decision` — the offload decision problem (Eq. 3 and
+  extensions: deadline feasibility, host-vs-accelerator choice, energy).
+"""
+
+from repro.core.decision import OffloadDecision, min_clusters_for_deadline
+from repro.core.mape import mape, mape_table
+from repro.core.model import OffloadModel, PAPER_DAXPY_MODEL
+from repro.core.offload import OffloadResult, offload, offload_daxpy
+from repro.core.sweep import SweepPoint, SweepResult, sweep
+
+__all__ = [
+    "OffloadDecision",
+    "OffloadModel",
+    "OffloadResult",
+    "PAPER_DAXPY_MODEL",
+    "SweepPoint",
+    "SweepResult",
+    "mape",
+    "mape_table",
+    "min_clusters_for_deadline",
+    "offload",
+    "offload_daxpy",
+    "sweep",
+]

@@ -1,0 +1,203 @@
+"""Concurrent space-shared offloads: several jobs, disjoint cluster ranges.
+
+A 32-cluster fabric running one 16-cluster job leaves half the machine
+idle; space sharing launches several jobs at once on disjoint cluster
+ranges.  Because all jobs' constant offload overheads (descriptor
+stores, dispatch, wake-up, synchronization) overlap in time — and the
+shared memory channels serialize the same aggregate DMA either way —
+space sharing amortizes exactly the overhead the paper attacks; see
+``benchmarks/bench_concurrent.py`` (experiment E10).
+
+Cluster ranges are assigned contiguously in job order.  Completion uses
+a single credit-counter threshold equal to the total cluster count (the
+unit doubles as a cross-job completion barrier), or one AMO flag per
+job on baseline hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro import abi
+from repro.core.offload import (
+    DEFAULT_MAX_CYCLES,
+    EXEC_MODES,
+    _check_offload_shape,
+    _prepare_inputs,
+    _run_to_completion,
+    _verify_outputs,
+)
+from repro.errors import OffloadError
+from repro.kernels.registry import get_kernel
+from repro.runtime.api import make_runtime
+from repro.runtime.trace import build_offload_trace
+from repro.soc.manticore import ManticoreSystem
+
+
+@dataclasses.dataclass(frozen=True)
+class ConcurrentJob:
+    """One job in a concurrent launch."""
+
+    kernel_name: str
+    n: int
+    num_clusters: int
+    scalars: typing.Optional[typing.Mapping[str, float]] = None
+    inputs: typing.Optional[typing.Mapping[str, numpy.ndarray]] = None
+    seed: int = 0
+    exec_mode: str = "phased"
+
+
+@dataclasses.dataclass(frozen=True)
+class ConcurrentJobResult:
+    """One job's outcome within a concurrent launch."""
+
+    kernel_name: str
+    n: int
+    num_clusters: int
+    first_cluster: int
+    outputs: typing.Mapping[str, numpy.ndarray]
+    #: Cycle at which this job's last cluster signalled completion.
+    completed_cycle: int
+    verified: typing.Optional[bool]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConcurrentOffloadResult:
+    """A whole concurrent launch."""
+
+    jobs: typing.Tuple[ConcurrentJobResult, ...]
+    start_cycle: int
+    end_cycle: int
+    variant: str
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Host-observed time from launch to all-jobs-complete."""
+        return self.end_cycle - self.start_cycle
+
+    def __str__(self) -> str:
+        names = "+".join(job.kernel_name for job in self.jobs)
+        return (f"concurrent[{names}] on "
+                f"{sum(j.num_clusters for j in self.jobs)} clusters "
+                f"[{self.variant}]: {self.makespan_cycles} cycles")
+
+
+def offload_concurrent(system: ManticoreSystem,
+                       jobs: typing.Sequence[ConcurrentJob],
+                       variant: str = "auto", verify: bool = True,
+                       max_cycles: int = DEFAULT_MAX_CYCLES
+                       ) -> ConcurrentOffloadResult:
+    """Launch several jobs at once on disjoint cluster ranges.
+
+    Ranges are assigned contiguously in job order; their total width
+    must fit the fabric.
+
+    Raises
+    ------
+    OffloadError
+        On empty launches, over-wide totals, or invalid job requests.
+    """
+    if not jobs:
+        raise OffloadError("concurrent offload of zero jobs")
+    total = sum(job.num_clusters for job in jobs)
+    if total > system.config.num_clusters:
+        raise OffloadError(
+            f"concurrent jobs need {total} clusters, fabric has "
+            f"{system.config.num_clusters}")
+
+    runtime = make_runtime(system, variant)
+    memory = system.memory
+
+    descs: typing.List[typing.Tuple[abi.JobDescriptor, int]] = []
+    staged = []
+    flag_addrs: typing.List[int] = []
+    first = 0
+    for job in jobs:
+        kernel = get_kernel(job.kernel_name)
+        scalars = dict(job.scalars) if job.scalars else {
+            name: 1.0 for name in kernel.scalar_names}
+        kernel.validate(job.n, scalars)
+        if job.exec_mode not in EXEC_MODES:
+            raise OffloadError(f"unknown exec mode {job.exec_mode!r}")
+        _check_offload_shape(
+            system, kernel, job.n, job.num_clusters,
+            double_buffered=(job.exec_mode == "double_buffered"))
+        inputs = _prepare_inputs(kernel, job.n, job.inputs, job.seed)
+
+        input_addrs = {}
+        for name in kernel.input_names:
+            addr = memory.alloc_f64(kernel.input_length(name, job.n))
+            memory.write_f64(addr, inputs[name])
+            input_addrs[name] = addr
+        output_addrs = {}
+        for name in kernel.output_names:
+            alias = kernel.output_alias(name)
+            if alias is not None:
+                output_addrs[name] = input_addrs[alias]
+            else:
+                output_addrs[name] = memory.alloc_f64(
+                    kernel.output_length(name, job.n, job.num_clusters))
+
+        if runtime.sync_mode == abi.SYNC_MODE_AMO:
+            flag_addr = memory.alloc(8)
+            flag_addrs.append(flag_addr)
+            completion_addr = flag_addr
+        else:
+            completion_addr = system.syncunit_increment_addr
+
+        desc = abi.JobDescriptor(
+            kernel_name=job.kernel_name, n=job.n,
+            num_clusters=job.num_clusters, first_cluster=first,
+            sync_mode=runtime.sync_mode, completion_addr=completion_addr,
+            exec_mode=EXEC_MODES[job.exec_mode], scalars=scalars,
+            input_addrs=input_addrs, output_addrs=output_addrs)
+        desc_addr = memory.alloc(8 * max(desc.words, 8), align=64)
+        descs.append((desc, desc_addr))
+        staged.append((kernel, scalars, inputs, output_addrs, first))
+        first += job.num_clusters
+
+    result_box: typing.Dict[str, int] = {}
+    program = runtime.concurrent_offload_program(
+        descs, flag_addrs if flag_addrs else None, result_box)
+    process = system.host.run_program(program, name="offload.concurrent")
+    _run_to_completion(system, process, max_cycles)
+    system.run()
+
+    trace = build_offload_trace(
+        system.trace, result_box["start_cycle"], result_box["end_cycle"])
+    completion_by_cluster = {
+        phases.cluster_id: phases.completion_signalled
+        for phases in trace.clusters
+    }
+
+    job_results = []
+    for job, (kernel, scalars, inputs, output_addrs, first_cluster) \
+            in zip(jobs, staged):
+        outputs = {
+            name: memory.read_f64(
+                output_addrs[name],
+                kernel.output_length(name, job.n, job.num_clusters))
+            for name in kernel.output_names
+        }
+        verified = None
+        if verify:
+            _verify_outputs(kernel, job.n, job.num_clusters, scalars,
+                            inputs, outputs)
+            verified = True
+        completed = max(
+            completion_by_cluster[cid]
+            for cid in range(first_cluster,
+                             first_cluster + job.num_clusters))
+        job_results.append(ConcurrentJobResult(
+            kernel_name=job.kernel_name, n=job.n,
+            num_clusters=job.num_clusters, first_cluster=first_cluster,
+            outputs=outputs, completed_cycle=completed, verified=verified))
+
+    return ConcurrentOffloadResult(
+        jobs=tuple(job_results),
+        start_cycle=result_box["start_cycle"],
+        end_cycle=result_box["end_cycle"],
+        variant=runtime.name)

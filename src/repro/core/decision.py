@@ -1,0 +1,261 @@
+"""The offload decision problem (the paper's Eq. 3 and extensions).
+
+The paper inverts its runtime model under a deadline constraint
+``t(M) ≤ t_max`` to obtain the minimum cluster count::
+
+    M_min = ⌈ 2.6·N / (8·(t_max − 367 − N/4)) ⌉        (Eq. 3)
+
+:func:`min_clusters_for_deadline` implements that inversion for any
+model in the family (closed form when the dispatch term is zero, exact
+search otherwise, since ``d·M`` makes large M hurt as well as help).
+
+Beyond the paper, :func:`decide_offload` answers the *whether* question
+the introduction motivates — run on the host or offload, and at what
+width — optionally under a deadline and an energy objective.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.core.model import OffloadModel
+from repro.errors import DecisionError, ModelError
+
+
+@dataclasses.dataclass(frozen=True)
+class HostExecutionModel:
+    """Runtime of the kernel executed by the host core itself.
+
+    ``t_host(N) = setup + cpe·N`` — the single-issue, cache-warm inner
+    loop of an application-class core (CVA6 runs DAXPY around 3
+    cycles/element without the accelerator).
+    """
+
+    cycles_per_element: float = 3.0
+    setup_cycles: float = 10.0
+
+    def predict(self, n: int) -> float:
+        if n < 0:
+            raise ModelError(f"N must be non-negative, got {n}")
+        return self.setup_cycles + self.cycles_per_element * n
+
+    @classmethod
+    def fit(cls, measurements: typing.Sequence[typing.Tuple[int, float]]
+            ) -> "HostExecutionModel":
+        """Least-squares fit from measured ``(n, cycles)`` pairs.
+
+        Use with :func:`repro.core.offload.run_on_host` so the decision
+        compares two *measured* models instead of assuming a host rate.
+        """
+        measurements = list(measurements)
+        if len(measurements) < 2:
+            raise ModelError(
+                f"need at least 2 host measurements, got {len(measurements)}")
+        import numpy
+        n_values = numpy.array([float(n) for n, _t in measurements])
+        t_values = numpy.array([float(t) for _n, t in measurements])
+        design = numpy.column_stack([numpy.ones_like(n_values), n_values])
+        (setup, rate), _res, rank, _sv = numpy.linalg.lstsq(design, t_values,
+                                                            rcond=None)
+        if rank < 2:
+            raise ModelError("host measurements must span multiple sizes")
+        if rate < 0:
+            raise ModelError(
+                f"fit produced a negative host rate ({rate:.3f} "
+                "cycles/element); measurements are not linear in N")
+        return cls(cycles_per_element=float(rate),
+                   setup_cycles=float(max(0.0, setup)))
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """First-order energy accounting for the offload decision.
+
+    ``E_offload(M, N) = (p_host_idle + M·p_cluster)·t̂(M, N)`` — the
+    host idles in WFI while M clusters (and their share of the memory
+    system) burn active power for the job duration.
+    ``E_host(N) = p_host_active·t_host(N)``.
+    Powers are in arbitrary consistent units (e.g. mW at 1 GHz →
+    energy in pJ per cycle unit).
+    """
+
+    host_active_power: float = 300.0
+    host_idle_power: float = 30.0
+    cluster_power: float = 25.0
+
+    def offload_energy(self, model: OffloadModel, num_clusters: int,
+                       n: int) -> float:
+        runtime = model.predict(num_clusters, n)
+        return (self.host_idle_power
+                + num_clusters * self.cluster_power) * runtime
+
+    def host_energy(self, host_model: HostExecutionModel, n: int) -> float:
+        return self.host_active_power * host_model.predict(n)
+
+
+def _smallest_feasible(model: OffloadModel, n: int, t_max: float,
+                       max_clusters: int) -> int:
+    """Binary search for the smallest feasible M on a monotone model."""
+    lo, hi = 1, max_clusters
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if model.predict(mid, n) <= t_max:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def min_clusters_for_deadline(model: OffloadModel, n: int, t_max: float,
+                              max_clusters: int = 32) -> int:
+    """Minimum M with ``t̂(M, N) ≤ t_max`` (the paper's Eq. 3).
+
+    Raises
+    ------
+    DecisionError
+        If no M in ``[1, max_clusters]`` meets the deadline.  The error
+        message distinguishes "infeasible at any width" (deadline below
+        the serial floor) from "needs more clusters than the fabric has".
+    """
+    if max_clusters <= 0:
+        raise DecisionError(f"max_clusters must be positive, got {max_clusters}")
+    if t_max <= 0:
+        raise DecisionError(f"deadline must be positive, got {t_max}")
+
+    serial = model.serial_cycles(n)
+    if model.dispatch_coeff == 0:
+        # Closed form, exactly the paper's Eq. 3 shape.
+        slack = t_max - serial
+        parallel = model.compute_coeff * n
+        if parallel == 0:
+            # Fully-serial job: the deadline either holds at M=1 or never.
+            if slack >= 0:
+                return 1
+            raise DecisionError(
+                f"deadline {t_max:.0f} is below the serial floor "
+                f"{serial:.0f} cycles for N={n}; no cluster count can "
+                "meet it")
+        if slack <= 0:
+            # Analytically infeasible — but floating-point rounding can
+            # make the widest offload land exactly on the deadline (a
+            # parallel term below the serial floor's ulp).  Trust the
+            # predictions themselves in that boundary case.
+            if model.predict(max_clusters, n) <= t_max:
+                return _smallest_feasible(model, n, t_max, max_clusters)
+            raise DecisionError(
+                f"deadline {t_max:.0f} is below the serial floor "
+                f"{serial:.0f} cycles for N={n}; no cluster count can "
+                "meet it")
+        m_min = max(1, math.ceil(parallel / slack))
+        if m_min > max_clusters:
+            if model.predict(max_clusters, n) <= t_max:
+                return _smallest_feasible(model, n, t_max, max_clusters)
+            raise DecisionError(
+                f"meeting {t_max:.0f} cycles for N={n} needs {m_min} "
+                f"clusters, more than the fabric's {max_clusters}")
+        # ceil() on exact-boundary floats can land one step off in either
+        # direction; snap to the true minimum among the neighbours.
+        while m_min > 1 and model.predict(m_min - 1, n) <= t_max:
+            m_min -= 1
+        while m_min <= max_clusters and model.predict(m_min, n) > t_max:
+            m_min += 1
+        if m_min > max_clusters:
+            raise DecisionError(
+                f"meeting {t_max:.0f} cycles for N={n} needs more than the "
+                f"fabric's {max_clusters} clusters")
+        return m_min
+
+    # With a dispatch term, runtime is not monotone in M: search.
+    feasible = [m for m in range(1, max_clusters + 1)
+                if model.predict(m, n) <= t_max]
+    if not feasible:
+        best = min(range(1, max_clusters + 1),
+                   key=lambda m: model.predict(m, n))
+        raise DecisionError(
+            f"no cluster count in [1, {max_clusters}] meets {t_max:.0f} "
+            f"cycles for N={n}; best achievable is "
+            f"{model.predict(best, n):.0f} cycles at M={best}")
+    return min(feasible)
+
+
+@dataclasses.dataclass(frozen=True)
+class OffloadDecision:
+    """The answer :func:`decide_offload` returns."""
+
+    #: True if the job should be offloaded at all.
+    offload: bool
+    #: Chosen cluster count (0 when running on the host).
+    num_clusters: int
+    #: Predicted cycles of the chosen option.
+    predicted_cycles: float
+    #: Predicted cycles of executing on the host instead.
+    host_cycles: float
+    #: Predicted energy of the chosen option (None without EnergyModel).
+    predicted_energy: typing.Optional[float] = None
+    #: Why this choice was made, for logs and reports.
+    reason: str = ""
+
+    @property
+    def speedup_vs_host(self) -> float:
+        """How much faster the chosen option is than host execution."""
+        return self.host_cycles / self.predicted_cycles
+
+
+def decide_offload(model: OffloadModel, host_model: HostExecutionModel,
+                   n: int, max_clusters: int = 32,
+                   t_max: typing.Optional[float] = None,
+                   energy_model: typing.Optional[EnergyModel] = None,
+                   objective: str = "runtime") -> OffloadDecision:
+    """Choose between host execution and offloading, and pick M.
+
+    ``objective="runtime"`` minimizes predicted cycles;
+    ``objective="energy"`` minimizes predicted energy (requires
+    ``energy_model``) among options that satisfy ``t_max`` (if given).
+
+    Raises
+    ------
+    DecisionError
+        If a deadline is given and no option meets it, or the objective
+        is invalid.
+    """
+    if objective not in ("runtime", "energy"):
+        raise DecisionError(f"unknown objective {objective!r}")
+    if objective == "energy" and energy_model is None:
+        raise DecisionError("energy objective requires an EnergyModel")
+
+    host_cycles = host_model.predict(n)
+
+    # Enumerate candidate options: host, and every offload width.
+    candidates: typing.List[typing.Tuple[str, int, float, typing.Optional[float]]] = []
+    if t_max is None or host_cycles <= t_max:
+        host_energy = (energy_model.host_energy(host_model, n)
+                       if energy_model else None)
+        candidates.append(("host", 0, host_cycles, host_energy))
+    for m in range(1, max_clusters + 1):
+        cycles = model.predict(m, n)
+        if t_max is not None and cycles > t_max:
+            continue
+        energy = (energy_model.offload_energy(model, m, n)
+                  if energy_model else None)
+        candidates.append(("offload", m, cycles, energy))
+
+    if not candidates:
+        raise DecisionError(
+            f"no execution option meets the deadline of {t_max:.0f} "
+            f"cycles for N={n}")
+
+    if objective == "runtime":
+        kind, m, cycles, energy = min(candidates, key=lambda c: (c[2], c[1]))
+        reason = "minimum predicted runtime"
+    else:
+        kind, m, cycles, energy = min(candidates, key=lambda c: (c[3], c[1]))
+        reason = "minimum predicted energy"
+    if t_max is not None:
+        reason += f" subject to t_max={t_max:.0f}"
+
+    return OffloadDecision(
+        offload=(kind == "offload"), num_clusters=m,
+        predicted_cycles=cycles, host_cycles=host_cycles,
+        predicted_energy=energy, reason=reason)

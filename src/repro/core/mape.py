@@ -1,0 +1,80 @@
+"""Model validation: mean absolute percentage error (the paper's Eq. 2).
+
+For each problem size N the paper reports::
+
+    MAPE(N) = (100 / |M-set|) · Σ_M |t(M,N) − t̂(M,N)| / t(M,N)
+
+over the tested cluster counts, and finds it consistently below 1 %.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy
+
+from repro.core.model import OffloadModel
+from repro.errors import ModelError
+
+#: The paper's validation grids.
+PAPER_N_VALUES = (256, 512, 768, 1024)
+PAPER_M_VALUES = (1, 2, 4, 8, 16, 32)
+
+
+def mape(actual: typing.Sequence[float],
+         predicted: typing.Sequence[float]) -> float:
+    """Mean absolute percentage error, in percent."""
+    actual = numpy.asarray(actual, dtype=float)
+    predicted = numpy.asarray(predicted, dtype=float)
+    if actual.shape != predicted.shape:
+        raise ModelError(
+            f"shape mismatch: {actual.shape} vs {predicted.shape}")
+    if actual.size == 0:
+        raise ModelError("MAPE of an empty measurement set")
+    if (actual <= 0).any():
+        raise ModelError("MAPE requires positive actual values")
+    return float(100.0 * numpy.mean(numpy.abs(actual - predicted) / actual))
+
+
+def max_ape(actual: typing.Sequence[float],
+            predicted: typing.Sequence[float]) -> float:
+    """Worst-case absolute percentage error, in percent."""
+    actual = numpy.asarray(actual, dtype=float)
+    predicted = numpy.asarray(predicted, dtype=float)
+    if actual.shape != predicted.shape:
+        raise ModelError(
+            f"shape mismatch: {actual.shape} vs {predicted.shape}")
+    if actual.size == 0:
+        raise ModelError("max APE of an empty measurement set")
+    if (actual <= 0).any():
+        raise ModelError("max APE requires positive actual values")
+    return float(100.0 * numpy.max(numpy.abs(actual - predicted) / actual))
+
+
+def mape_table(model: OffloadModel,
+               runtimes: typing.Mapping[typing.Tuple[int, int], float]
+               ) -> typing.Dict[int, float]:
+    """Per-N MAPE of a model against measured runtimes (Eq. 2).
+
+    Parameters
+    ----------
+    model:
+        The analytic model under validation.
+    runtimes:
+        ``{(M, N): measured_cycles}`` — e.g. from
+        :meth:`repro.core.sweep.SweepResult.runtime_grid`.
+
+    Returns
+    -------
+    dict
+        ``{N: MAPE_percent}`` with N sorted ascending.
+    """
+    if not runtimes:
+        raise ModelError("no measurements to validate against")
+    by_n: typing.Dict[int, typing.List[typing.Tuple[float, float]]] = {}
+    for (m, n), measured in runtimes.items():
+        by_n.setdefault(n, []).append((measured, model.predict(m, n)))
+    return {
+        n: mape([a for a, _p in pairs], [p for _a, p in pairs])
+        for n, pairs in sorted(by_n.items())
+    }

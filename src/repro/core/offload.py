@@ -1,0 +1,324 @@
+"""Run one offloaded job end to end and measure it.
+
+:func:`offload` is the package's main entry point: it stages job
+operands into the simulated SoC's main memory, encodes the job
+descriptor, runs the host's offload routine against the cluster fabric,
+checks functional correctness against the kernel's reference, and
+returns the measured runtime with a full phase breakdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro import abi
+from repro.errors import OffloadError
+from repro.kernels.base import Kernel, split_range
+from repro.kernels.registry import get_kernel
+from repro.runtime.api import make_runtime
+from repro.runtime.trace import OffloadTrace, build_offload_trace
+from repro.soc.manticore import ManticoreSystem
+
+#: Simulation-cycle guard against runaway offloads (a 1024-element DAXPY
+#: takes around a thousand cycles; nothing sane needs a billion).
+DEFAULT_MAX_CYCLES = 1_000_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class OffloadResult:
+    """One measured offload."""
+
+    kernel_name: str
+    n: int
+    num_clusters: int
+    variant: str
+    runtime_cycles: int
+    start_cycle: int
+    end_cycle: int
+    outputs: typing.Mapping[str, numpy.ndarray]
+    trace: OffloadTrace
+    verified: typing.Optional[bool]
+
+    def __str__(self) -> str:
+        return (f"{self.kernel_name}(n={self.n}) on {self.num_clusters} "
+                f"clusters [{self.variant}]: {self.runtime_cycles} cycles")
+
+
+#: ``exec_mode`` argument values accepted by :func:`offload`.
+EXEC_MODES = {
+    "phased": abi.EXEC_MODE_PHASED,
+    "double_buffered": abi.EXEC_MODE_DOUBLE_BUFFERED,
+}
+
+
+def offload(system: ManticoreSystem, kernel_name: str, n: int,
+            num_clusters: int,
+            scalars: typing.Optional[typing.Mapping[str, float]] = None,
+            inputs: typing.Optional[typing.Mapping[str, numpy.ndarray]] = None,
+            variant: str = "auto", exec_mode: str = "phased", seed: int = 0,
+            verify: bool = True,
+            max_cycles: int = DEFAULT_MAX_CYCLES) -> OffloadResult:
+    """Offload one job and return the measured result.
+
+    Parameters
+    ----------
+    system:
+        The SoC to run on.  Reusable across sequential offloads.
+    kernel_name:
+        A registered kernel (see :func:`repro.kernels.kernel_names`).
+    n:
+        Problem size in work items.
+    num_clusters:
+        Offload width M (clusters ``0..M-1`` participate).
+    scalars:
+        Kernel scalar arguments; defaults to 1.0 each.
+    inputs:
+        Input buffers; generated deterministically from ``seed`` if
+        omitted.
+    variant:
+        Runtime variant (``auto`` uses all hardware features present).
+    exec_mode:
+        Device execution protocol: ``"phased"`` (the paper's — stage,
+        compute, write back) or ``"double_buffered"`` (chunked pipeline
+        overlapping DMA with compute; element-wise kernels only).
+    verify:
+        Check outputs against the kernel's reference model and raise
+        :class:`OffloadError` on mismatch.
+    max_cycles:
+        Abort if the simulation exceeds this cycle count.
+    """
+    kernel = get_kernel(kernel_name)
+    scalars = dict(scalars) if scalars else {
+        name: 1.0 for name in kernel.scalar_names}
+    kernel.validate(n, scalars)
+    if exec_mode not in EXEC_MODES:
+        raise OffloadError(
+            f"unknown exec mode {exec_mode!r}; available: "
+            f"{', '.join(sorted(EXEC_MODES))}")
+    if exec_mode == "double_buffered":
+        for name in kernel.output_names:
+            if kernel.output_length(name, n, num_clusters) != n:
+                raise OffloadError(
+                    f"double buffering requires an element-wise kernel; "
+                    f"{kernel_name!r} output {name!r} depends on the "
+                    "offload shape")
+    _check_offload_shape(system, kernel, n, num_clusters,
+                         double_buffered=(exec_mode == "double_buffered"))
+
+    inputs = _prepare_inputs(kernel, n, inputs, seed)
+    runtime = make_runtime(system, variant)
+    memory = system.memory
+
+    # --- Stage operands and build the descriptor -----------------------
+    input_addrs = {}
+    for name in kernel.input_names:
+        addr = memory.alloc_f64(kernel.input_length(name, n))
+        memory.write_f64(addr, inputs[name])
+        input_addrs[name] = addr
+    output_addrs = {}
+    for name in kernel.output_names:
+        alias = kernel.output_alias(name)
+        if alias is not None:
+            output_addrs[name] = input_addrs[alias]
+        else:
+            output_addrs[name] = memory.alloc_f64(
+                kernel.output_length(name, n, num_clusters))
+
+    flag_addr = None
+    if runtime.sync_mode == abi.SYNC_MODE_AMO:
+        flag_addr = memory.alloc(8)
+        completion_addr = flag_addr
+    else:
+        completion_addr = system.syncunit_increment_addr
+
+    desc = abi.JobDescriptor(
+        kernel_name=kernel_name, n=n, num_clusters=num_clusters,
+        sync_mode=runtime.sync_mode, completion_addr=completion_addr,
+        exec_mode=EXEC_MODES[exec_mode],
+        scalars=scalars, input_addrs=input_addrs, output_addrs=output_addrs)
+    desc_addr = memory.alloc(8 * max(desc.words, 8), align=64)
+
+    # --- Run -----------------------------------------------------------
+    result_box: typing.Dict[str, int] = {}
+    program = runtime.offload_program(desc, desc_addr, flag_addr, result_box)
+    process = system.host.run_program(program, name=f"offload.{kernel_name}")
+    _run_to_completion(system, process, max_cycles)
+    system.run()  # drain in-flight responses so memory state settles
+
+    if "end_cycle" not in result_box:
+        raise OffloadError("offload program finished without recording "
+                           "completion (runtime bug)")
+
+    # --- Collect outputs -------------------------------------------------
+    outputs = {
+        name: memory.read_f64(
+            output_addrs[name], kernel.output_length(name, n, num_clusters))
+        for name in kernel.output_names
+    }
+    verified = None
+    if verify:
+        _verify_outputs(kernel, n, num_clusters, scalars, inputs, outputs)
+        verified = True
+
+    trace = build_offload_trace(
+        system.trace, result_box["start_cycle"], result_box["end_cycle"])
+    return OffloadResult(
+        kernel_name=kernel_name, n=n, num_clusters=num_clusters,
+        variant=runtime.name,
+        runtime_cycles=result_box["end_cycle"] - result_box["start_cycle"],
+        start_cycle=result_box["start_cycle"],
+        end_cycle=result_box["end_cycle"],
+        outputs=outputs, trace=trace, verified=verified)
+
+
+def offload_daxpy(system: ManticoreSystem, n: int, num_clusters: int,
+                  a: float = 2.0, **kwargs) -> OffloadResult:
+    """Offload the paper's DAXPY kernel: ``y = a*x + y``."""
+    return offload(system, "daxpy", n, num_clusters, scalars={"a": a},
+                   **kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class HostRunResult:
+    """One kernel executed by the host core itself (no offload)."""
+
+    kernel_name: str
+    n: int
+    runtime_cycles: int
+    outputs: typing.Mapping[str, numpy.ndarray]
+    verified: typing.Optional[bool]
+
+    def __str__(self) -> str:
+        return (f"{self.kernel_name}(n={self.n}) on the host: "
+                f"{self.runtime_cycles} cycles")
+
+
+def run_on_host(system: ManticoreSystem, kernel_name: str, n: int,
+                scalars: typing.Optional[typing.Mapping[str, float]] = None,
+                inputs: typing.Optional[typing.Mapping[str, numpy.ndarray]] = None,
+                seed: int = 0, verify: bool = True) -> HostRunResult:
+    """Execute a kernel on the host core — the offload's measured rival.
+
+    Same staging and verification as :func:`offload`, but the host runs
+    the loop itself (see :mod:`repro.runtime.hostexec`): no dispatch,
+    DMA, or completion synchronization is paid, only the host's slower
+    single-core rate.
+    """
+    from repro.runtime.hostexec import host_kernel_program
+
+    kernel = get_kernel(kernel_name)
+    scalars = dict(scalars) if scalars else {
+        name: 1.0 for name in kernel.scalar_names}
+    kernel.validate(n, scalars)
+    inputs = _prepare_inputs(kernel, n, inputs, seed)
+    memory = system.memory
+
+    input_addrs = {}
+    for name in kernel.input_names:
+        addr = memory.alloc_f64(kernel.input_length(name, n))
+        memory.write_f64(addr, inputs[name])
+        input_addrs[name] = addr
+    output_addrs = {}
+    for name in kernel.output_names:
+        alias = kernel.output_alias(name)
+        if alias is not None:
+            output_addrs[name] = input_addrs[alias]
+        else:
+            output_addrs[name] = memory.alloc_f64(
+                kernel.output_length(name, n, 1))
+
+    result_box: typing.Dict[str, int] = {}
+    program = host_kernel_program(system, kernel, n, scalars, input_addrs,
+                                  output_addrs, result_box)
+    process = system.host.run_program(program, name=f"host.{kernel_name}")
+    _run_to_completion(system, process, DEFAULT_MAX_CYCLES)
+    system.run()
+
+    outputs = {
+        name: memory.read_f64(output_addrs[name],
+                              kernel.output_length(name, n, 1))
+        for name in kernel.output_names
+    }
+    verified = None
+    if verify:
+        _verify_outputs(kernel, n, 1, scalars, inputs, outputs)
+        verified = True
+    return HostRunResult(
+        kernel_name=kernel_name, n=n,
+        runtime_cycles=result_box["end_cycle"] - result_box["start_cycle"],
+        outputs=outputs, verified=verified)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _check_offload_shape(system: ManticoreSystem, kernel: Kernel, n: int,
+                         num_clusters: int,
+                         double_buffered: bool = False) -> None:
+    config = system.config
+    if not 0 < num_clusters <= config.num_clusters:
+        raise OffloadError(
+            f"cannot offload to {num_clusters} clusters on a "
+            f"{config.num_clusters}-cluster fabric")
+    largest = split_range(n, num_clusters)[0]
+    footprint = kernel.slice_tcdm_bytes(largest.lo, largest.hi, n)
+    if double_buffered:
+        # Chunking divides the working set, so a whole slice never has
+        # to fit; the device runtime re-checks its chosen chunk pair.
+        return
+    if footprint > config.tcdm_bytes:
+        raise OffloadError(
+            f"{kernel.name}(n={n}) on {num_clusters} clusters needs "
+            f"{footprint} bytes of TCDM per cluster but only "
+            f"{config.tcdm_bytes} are available; increase num_clusters "
+            "or shrink the job (or use exec_mode='double_buffered')")
+
+
+def _prepare_inputs(kernel: Kernel, n: int,
+                    inputs: typing.Optional[typing.Mapping[str, numpy.ndarray]],
+                    seed: int) -> typing.Dict[str, numpy.ndarray]:
+    if inputs is None:
+        rng = numpy.random.default_rng(seed)
+        return kernel.make_inputs(n, rng)
+    prepared = {}
+    for name in kernel.input_names:
+        if name not in inputs:
+            raise OffloadError(f"missing input buffer {name!r}")
+        array = numpy.asarray(inputs[name], dtype=numpy.float64)
+        expected = kernel.input_length(name, n)
+        if array.size != expected:
+            raise OffloadError(
+                f"input {name!r} has {array.size} elements, "
+                f"kernel {kernel.name!r} expects {expected} for n={n}")
+        prepared[name] = array
+    return prepared
+
+
+def _run_to_completion(system: ManticoreSystem, process,
+                       max_cycles: int) -> None:
+    sim = system.sim
+    while not process.triggered:
+        if sim.now > max_cycles:
+            raise OffloadError(
+                f"offload exceeded {max_cycles} cycles; the completion "
+                "protocol likely deadlocked")
+        if not sim.step():
+            raise OffloadError(
+                "simulation ran out of events before the offload "
+                "completed (lost doorbell or completion signal)")
+
+
+def _verify_outputs(kernel: Kernel, n: int, num_clusters: int,
+                    scalars, inputs, outputs) -> None:
+    expected = kernel.reference(n, scalars, inputs, num_clusters)
+    for name, want in expected.items():
+        got = outputs[name]
+        if not numpy.allclose(got, want, rtol=1e-10, atol=1e-12):
+            worst = int(numpy.argmax(numpy.abs(got - want)))
+            raise OffloadError(
+                f"{kernel.name} output {name!r} mismatches the reference "
+                f"(first/worst at index {worst}: got {got[worst]}, "
+                f"want {want[worst]})")

@@ -1,0 +1,169 @@
+"""Measurement sweeps over (kernel, N, M, variant) grids.
+
+Every figure in the paper is a view over such a grid: Fig. 1 (left) is
+``runtime vs M`` at fixed N for two variants, Fig. 1 (right) is the
+ratio of two grids, and the MAPE table validates a model against one.
+:func:`sweep` runs one simulation per grid point on a *fresh* SoC (no
+state leaks between points) and returns a queryable
+:class:`SweepResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.offload import offload
+from repro.errors import OffloadError
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One measured grid point."""
+
+    kernel_name: str
+    n: int
+    num_clusters: int
+    variant: str
+    runtime_cycles: int
+    phases: typing.Mapping[str, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """An immutable collection of sweep points with query helpers."""
+
+    points: typing.Tuple[SweepPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> typing.Iterator[SweepPoint]:
+        return iter(self.points)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(self, kernel_name: typing.Optional[str] = None,
+               n: typing.Optional[int] = None,
+               num_clusters: typing.Optional[int] = None,
+               variant: typing.Optional[str] = None) -> "SweepResult":
+        """Sub-grid matching the given coordinates."""
+        selected = tuple(
+            p for p in self.points
+            if (kernel_name is None or p.kernel_name == kernel_name)
+            and (n is None or p.n == n)
+            and (num_clusters is None or p.num_clusters == num_clusters)
+            and (variant is None or p.variant == variant)
+        )
+        return SweepResult(points=selected)
+
+    def runtime(self, n: int, num_clusters: int) -> int:
+        """The single runtime at (N, M); raises if absent or ambiguous."""
+        matches = [p for p in self.points
+                   if p.n == n and p.num_clusters == num_clusters]
+        if len(matches) != 1:
+            raise OffloadError(
+                f"{len(matches)} sweep points at N={n}, M={num_clusters}; "
+                "filter by kernel/variant first")
+        return matches[0].runtime_cycles
+
+    def runtimes_by_m(self, n: int) -> typing.Dict[int, int]:
+        """``{M: cycles}`` at fixed N (after filtering to one variant)."""
+        result: typing.Dict[int, int] = {}
+        for point in self.points:
+            if point.n != n:
+                continue
+            if point.num_clusters in result:
+                raise OffloadError(
+                    f"duplicate M={point.num_clusters} at N={n}; "
+                    "filter by kernel/variant first")
+            result[point.num_clusters] = point.runtime_cycles
+        return dict(sorted(result.items()))
+
+    def runtime_grid(self) -> typing.Dict[typing.Tuple[int, int], int]:
+        """``{(M, N): cycles}`` over the whole (filtered) result."""
+        grid: typing.Dict[typing.Tuple[int, int], int] = {}
+        for point in self.points:
+            key = (point.num_clusters, point.n)
+            if key in grid:
+                raise OffloadError(
+                    f"duplicate grid point {key}; filter by kernel/variant "
+                    "first")
+            grid[key] = point.runtime_cycles
+        return grid
+
+    def triples(self) -> typing.List[typing.Tuple[int, int, float]]:
+        """``(M, N, cycles)`` triples for :meth:`OffloadModel.fit`."""
+        return [(p.num_clusters, p.n, float(p.runtime_cycles))
+                for p in self.points]
+
+    def n_values(self) -> typing.List[int]:
+        return sorted({p.n for p in self.points})
+
+    def m_values(self) -> typing.List[int]:
+        return sorted({p.num_clusters for p in self.points})
+
+    def speedup_grid(self, baseline: "SweepResult"
+                     ) -> typing.Dict[typing.Tuple[int, int], float]:
+        """``{(M, N): baseline_cycles / self_cycles}`` on shared points.
+
+        This is Fig. 1 (right): the speedup of the extended design over
+        the baseline across the grid.
+        """
+        ours = self.runtime_grid()
+        theirs = baseline.runtime_grid()
+        shared = sorted(set(ours) & set(theirs))
+        if not shared:
+            raise OffloadError("the two sweeps share no grid points")
+        return {key: theirs[key] / ours[key] for key in shared}
+
+    def merged(self, other: "SweepResult") -> "SweepResult":
+        """Concatenation of two sweeps."""
+        return SweepResult(points=self.points + other.points)
+
+
+def sweep(config: SoCConfig, kernel_name: str,
+          n_values: typing.Sequence[int], m_values: typing.Sequence[int],
+          variant: str = "auto",
+          scalars: typing.Optional[typing.Mapping[str, float]] = None,
+          seed: int = 0, verify: bool = True,
+          progress: typing.Optional[typing.Callable[[SweepPoint], None]] = None
+          ) -> SweepResult:
+    """Measure a full (N, M) grid, one fresh SoC per point.
+
+    Parameters
+    ----------
+    config:
+        Fabric configuration; ``config.num_clusters`` is the fabric
+        size, which every ``m`` must fit within.
+    variant:
+        Runtime variant for every point (``auto`` = all hardware
+        features present in ``config``).
+    progress:
+        Optional callback invoked after each measured point (used by
+        the CLI to stream results).
+    """
+    if not n_values or not m_values:
+        raise OffloadError("sweep needs at least one N and one M value")
+    bad = [m for m in m_values if m > config.num_clusters]
+    if bad:
+        raise OffloadError(
+            f"m_values {bad} exceed the fabric size {config.num_clusters}")
+    points = []
+    for n in n_values:
+        for m in m_values:
+            system = ManticoreSystem(config)
+            result = offload(system, kernel_name, n, m, scalars=scalars,
+                             variant=variant, seed=seed, verify=verify)
+            point = SweepPoint(
+                kernel_name=kernel_name, n=n, num_clusters=m,
+                variant=result.variant,
+                runtime_cycles=result.runtime_cycles,
+                phases=result.trace.phase_summary())
+            points.append(point)
+            if progress is not None:
+                progress(point)
+    return SweepResult(points=tuple(points))

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while tests can
+assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly or reached a bad state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation ran out of events while processes were still waiting."""
+
+
+class MemoryError_(ReproError):
+    """A memory access fell outside a mapped region or was malformed.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`, which has a different meaning (allocator
+    exhaustion) and must remain reachable.
+    """
+
+
+class ConfigError(ReproError):
+    """An SoC or runtime configuration failed validation."""
+
+
+class OffloadError(ReproError):
+    """An offload request was malformed or could not be serviced."""
+
+
+class ModelError(ReproError):
+    """A runtime-model operation failed (fit, prediction, or inversion)."""
+
+
+class DecisionError(ModelError):
+    """No feasible offload configuration satisfies the given constraints."""
+
+
+class KernelError(ReproError):
+    """A device kernel was invoked with invalid arguments."""

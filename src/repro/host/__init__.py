@@ -1,0 +1,16 @@
+"""Host complex: a CVA6-class application core and its peripherals.
+
+The host is modeled at the granularity the offload study needs: it
+executes *programs* (Python generators written against the timed
+primitives of :class:`HostCore`) whose loads, stores, multicast stores,
+ALU work and wait-for-interrupt sleeps each cost cycles through the LSU,
+the interconnect and the interrupt controller.  The offload runtimes in
+:mod:`repro.runtime` are exactly such programs — the software half of
+the paper's hardware/software co-design.
+"""
+
+from repro.host.cva6 import HostCore
+from repro.host.irq import InterruptController
+from repro.host.lsu import LoadStoreUnit
+
+__all__ = ["HostCore", "InterruptController", "LoadStoreUnit"]

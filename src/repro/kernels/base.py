@@ -1,0 +1,278 @@
+"""Kernel base class: the functional + timing contract.
+
+A kernel describes a data-parallel job over ``n`` *work items* (vector
+elements for DAXPY-style kernels, matrix rows for GEMV).  The offload
+runtime splits ``range(n)`` into one contiguous :class:`WorkSlice` per
+cluster; each cluster DMAs its slice's working set in, its 8 compute
+cores each process a sub-slice, and results are DMA'd back out.
+
+The contract a kernel implements:
+
+``input_length(name, n)`` / ``output_length(name, n, num_slices)``
+    Element counts of the named float64 buffers.
+``output_alias(name)``
+    If the output is computed in place over an input buffer (DAXPY
+    updates ``y``), the input's name; else ``None``.
+``slice_bytes_in/out(lo, hi, n)``
+    DMA traffic for the slice — this drives the shared memory channels
+    and the TCDM capacity check.
+``compute_slice(n, scalars, inputs, work)``
+    The functional math: output fragments with their placement.
+``compute_cycles(elements, n)``
+    Per-core compute time for ``elements`` work items.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+import typing
+
+import numpy
+
+from repro.errors import KernelError
+
+#: Bytes per float64 element.
+ELEM_BYTES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkSlice:
+    """A contiguous range of work items assigned to one cluster."""
+
+    index: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise KernelError(f"invalid work slice [{self.lo}, {self.hi})")
+
+    @property
+    def elements(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def empty(self) -> bool:
+        return self.hi == self.lo
+
+
+def split_range(n: int, parts: int) -> typing.List[WorkSlice]:
+    """Split ``range(n)`` into ``parts`` contiguous, balanced slices.
+
+    The first ``n % parts`` slices get one extra element, matching the
+    static block schedule the device runtime uses.  Empty slices are
+    legal (more clusters than work items) and clusters receiving one
+    simply report completion immediately.
+    """
+    if n < 0:
+        raise KernelError(f"cannot split a negative range ({n})")
+    if parts <= 0:
+        raise KernelError(f"cannot split into {parts} parts")
+    base, extra = divmod(n, parts)
+    slices = []
+    lo = 0
+    for index in range(parts):
+        hi = lo + base + (1 if index < extra else 0)
+        slices.append(WorkSlice(index=index, lo=lo, hi=hi))
+        lo = hi
+    return slices
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelTiming:
+    """Per-core streaming-loop timing: ``setup + ceil(num·e / den)``.
+
+    ``num/den`` is the steady-state cycles-per-element rate (DAXPY's
+    published rate is 13/5 = 2.6 cycles per element per core);
+    ``setup_cycles`` covers loop/SSR/FREP configuration before the first
+    element issues.
+    """
+
+    setup_cycles: int
+    cpe_num: int
+    cpe_den: int
+
+    def __post_init__(self) -> None:
+        if self.setup_cycles < 0:
+            raise KernelError(f"negative setup cycles: {self.setup_cycles}")
+        if self.cpe_num <= 0 or self.cpe_den <= 0:
+            raise KernelError(
+                f"cycles-per-element rate must be positive: "
+                f"{self.cpe_num}/{self.cpe_den}"
+            )
+
+    @property
+    def cycles_per_element(self) -> float:
+        return self.cpe_num / self.cpe_den
+
+    def cycles(self, elements: int) -> int:
+        """Cycles for ``elements`` work items (0 items = no setup either)."""
+        if elements < 0:
+            raise KernelError(f"negative element count: {elements}")
+        if elements == 0:
+            return 0
+        return self.setup_cycles + math.ceil(self.cpe_num * elements / self.cpe_den)
+
+
+class Kernel(abc.ABC):
+    """Abstract base for offloadable kernels; see the module docstring."""
+
+    #: Kernel name used in the registry and job descriptors.
+    name: str = ""
+    #: Names of scalar arguments (e.g. ``("a",)`` for DAXPY's alpha).
+    scalar_names: typing.Tuple[str, ...] = ()
+    #: Names of float64 input buffers.
+    input_names: typing.Tuple[str, ...] = ()
+    #: Names of float64 output buffers.
+    output_names: typing.Tuple[str, ...] = ()
+    #: Whether a sub-range of the job is itself a complete, smaller job
+    #: (pure element-wise kernels).  Tileable kernels can be split into
+    #: sequential offloads by :func:`repro.core.tiling.offload_tiled`;
+    #: reductions (shape-dependent outputs) and stencils (halo coupling
+    #: across tile edges) are not tileable.
+    tileable: bool = False
+    #: Per-core timing; subclasses set a calibrated instance.
+    timing: KernelTiming = KernelTiming(setup_cycles=0, cpe_num=1, cpe_den=1)
+    #: Timing of the same loop on the application-class host core
+    #: (single-issue, cache-warm; no SSR/FREP hardware, so rates are
+    #: slower than a worker core's).  Used by the host execution path
+    #: that grounds the offload-or-not decision in measurements.
+    host_timing: KernelTiming = KernelTiming(setup_cycles=12, cpe_num=3,
+                                             cpe_den=1)
+
+    # ------------------------------------------------------------------
+    # Shapes
+    # ------------------------------------------------------------------
+    def input_length(self, name: str, n: int) -> int:
+        """Element count of input buffer ``name`` (default: ``n``)."""
+        self._check_name(name, self.input_names, "input")
+        return n
+
+    def output_length(self, name: str, n: int, num_slices: int) -> int:
+        """Element count of output buffer ``name`` (default: ``n``)."""
+        self._check_name(name, self.output_names, "output")
+        return n
+
+    def output_alias(self, name: str) -> typing.Optional[str]:
+        """Input buffer the output overwrites in place, if any."""
+        self._check_name(name, self.output_names, "output")
+        return None
+
+    def validate(self, n: int, scalars: typing.Mapping[str, float]) -> None:
+        """Check a job request; raises :class:`KernelError` on problems."""
+        if n <= 0:
+            raise KernelError(f"{self.name}: problem size must be positive, got {n}")
+        missing = set(self.scalar_names) - set(scalars)
+        if missing:
+            raise KernelError(
+                f"{self.name}: missing scalar arguments {sorted(missing)}"
+            )
+        extra = set(scalars) - set(self.scalar_names)
+        if extra:
+            raise KernelError(
+                f"{self.name}: unknown scalar arguments {sorted(extra)}"
+            )
+
+    # ------------------------------------------------------------------
+    # DMA traffic
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def slice_bytes_in(self, lo: int, hi: int, n: int) -> int:
+        """Bytes DMA'd into the TCDM for slice ``[lo, hi)``."""
+
+    @abc.abstractmethod
+    def slice_bytes_out(self, lo: int, hi: int, n: int) -> int:
+        """Bytes DMA'd back to main memory for slice ``[lo, hi)``."""
+
+    def slice_tcdm_bytes(self, lo: int, hi: int, n: int) -> int:
+        """TCDM footprint of the slice (working set held at once).
+
+        In-place outputs (every output aliases an input) reuse their
+        input's staging buffer; otherwise output staging is counted on
+        top of the inputs (conservative for mixed kernels).
+        """
+        in_bytes = self.slice_bytes_in(lo, hi, n)
+        all_in_place = self.output_names and all(
+            self.output_alias(name) is not None for name in self.output_names
+        )
+        if all_in_place:
+            return in_bytes
+        return in_bytes + self.slice_bytes_out(lo, hi, n)
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def compute_slice(
+        self, n: int, scalars: typing.Mapping[str, float],
+        inputs: typing.Mapping[str, numpy.ndarray], work: WorkSlice,
+    ) -> typing.Dict[str, typing.Tuple[int, numpy.ndarray]]:
+        """Compute the slice's output fragments.
+
+        Returns ``{output_name: (start_element, values)}``: ``values``
+        is written at ``start_element`` within the output buffer.
+        """
+
+    def reference(
+        self, n: int, scalars: typing.Mapping[str, float],
+        inputs: typing.Mapping[str, numpy.ndarray], num_slices: int,
+    ) -> typing.Dict[str, numpy.ndarray]:
+        """Golden outputs, computed by applying every slice in order."""
+        slices = split_range(n, num_slices)
+        outputs = {
+            name: numpy.zeros(self.output_length(name, n, num_slices))
+            for name in self.output_names
+        }
+        for name in self.output_names:
+            alias = self.output_alias(name)
+            if alias is not None:
+                outputs[name][:] = inputs[alias]
+        for work in slices:
+            if work.empty:
+                continue
+            for name, (start, values) in self.compute_slice(
+                    n, scalars, inputs, work).items():
+                outputs[name][start:start + len(values)] = values
+        return outputs
+
+    def make_inputs(self, n: int,
+                    rng: numpy.random.Generator) -> typing.Dict[str, numpy.ndarray]:
+        """Random, well-conditioned input buffers for tests/benchmarks."""
+        return {
+            name: rng.uniform(-1.0, 1.0, size=self.input_length(name, n))
+            for name in self.input_names
+        }
+
+    # ------------------------------------------------------------------
+    # Timing model
+    # ------------------------------------------------------------------
+    def compute_cycles(self, elements: int, n: int) -> int:
+        """Per-core compute time for ``elements`` work items."""
+        return self.timing.cycles(elements)
+
+    def host_compute_cycles(self, n: int) -> int:
+        """Time for the host core to run the whole job itself.
+
+        The host accesses operands through its cache hierarchy, so no
+        per-element interconnect traffic is charged — the rate folds
+        memory behaviour in, as measured rates on application-class
+        cores do.
+        """
+        return self.host_timing.cycles(n)
+
+    def flops(self, n: int) -> int:
+        """Floating-point operations in the whole job (default: 0)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_name(self, name: str, names: typing.Tuple[str, ...],
+                    kind: str) -> None:
+        if name not in names:
+            raise KernelError(f"{self.name}: unknown {kind} buffer {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Kernel {self.name}>"

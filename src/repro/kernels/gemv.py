@@ -1,0 +1,65 @@
+"""GEMV: ``y = A @ x`` with row-sliced work distribution.
+
+Work items are *matrix rows*: a slice of ``r`` rows moves ``r·n`` matrix
+elements plus the full ``x`` vector in, and ``r`` results out.  Unlike
+the element-wise kernels, per-item compute cost depends on ``n``, which
+exercises the generalized runtime-model fit (the memory and compute
+coefficients both scale with ``n``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import KernelError
+from repro.kernels.base import ELEM_BYTES, Kernel, KernelTiming, WorkSlice
+
+
+class GemvKernel(Kernel):
+    """Double-precision dense matrix-vector product over row slices."""
+
+    name = "gemv"
+    scalar_names = ()
+    input_names = ("A", "x")
+    output_names = ("y",)
+    #: Per-row rate is ``n``-dependent; ``timing`` holds setup and the
+    #: per-MAC rate applied in :meth:`compute_cycles`.
+    timing = KernelTiming(setup_cycles=30, cpe_num=3, cpe_den=2)
+    host_timing = KernelTiming(setup_cycles=16, cpe_num=4, cpe_den=1)
+
+    def input_length(self, name: str, n: int) -> int:
+        self._check_name(name, self.input_names, "input")
+        return n * n if name == "A" else n
+
+    def slice_bytes_in(self, lo: int, hi: int, n: int) -> int:
+        rows = hi - lo
+        if rows == 0:
+            return 0
+        return (rows * n + n) * ELEM_BYTES
+
+    def slice_bytes_out(self, lo: int, hi: int, n: int) -> int:
+        return (hi - lo) * ELEM_BYTES
+
+    def compute_slice(self, n, scalars, inputs, work: WorkSlice):
+        matrix = inputs["A"].reshape(n, n)[work.lo:work.hi, :]
+        return {"y": (work.lo, matrix @ inputs["x"])}
+
+    def compute_cycles(self, elements: int, n: int) -> int:
+        """``elements`` rows of ``n`` MACs each at the per-MAC rate."""
+        if elements < 0:
+            raise KernelError(f"negative row count: {elements}")
+        if elements == 0:
+            return 0
+        macs = elements * n
+        return self.timing.setup_cycles + math.ceil(
+            self.timing.cpe_num * macs / self.timing.cpe_den
+        )
+
+    def host_compute_cycles(self, n: int) -> int:
+        """Host runs all n*n MACs at the host per-MAC rate."""
+        return self.host_timing.setup_cycles + math.ceil(
+            self.host_timing.cpe_num * n * n / self.host_timing.cpe_den
+        )
+
+    def flops(self, n: int) -> int:
+        return 2 * n * n

@@ -1,0 +1,26 @@
+"""Memcpy: ``y = x`` — the pure-bandwidth kernel (zero flops)."""
+
+from __future__ import annotations
+
+from repro.kernels.base import ELEM_BYTES, Kernel, KernelTiming, WorkSlice
+
+
+class MemcpyKernel(Kernel):
+    """Element-wise copy; compute is a 1 cycle/element streaming loop."""
+
+    name = "memcpy"
+    tileable = True
+    scalar_names = ()
+    input_names = ("x",)
+    output_names = ("y",)
+    timing = KernelTiming(setup_cycles=16, cpe_num=1, cpe_den=1)
+    host_timing = KernelTiming(setup_cycles=10, cpe_num=2, cpe_den=1)
+
+    def slice_bytes_in(self, lo: int, hi: int, n: int) -> int:
+        return (hi - lo) * ELEM_BYTES
+
+    def slice_bytes_out(self, lo: int, hi: int, n: int) -> int:
+        return (hi - lo) * ELEM_BYTES
+
+    def compute_slice(self, n, scalars, inputs, work: WorkSlice):
+        return {"y": (work.lo, inputs["x"][work.lo:work.hi].copy())}

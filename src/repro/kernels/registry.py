@@ -1,0 +1,57 @@
+"""Kernel registry: name-based lookup for runtimes, CLI and benchmarks."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import KernelError
+from repro.kernels.axpby import AxpbyKernel
+from repro.kernels.base import Kernel
+from repro.kernels.daxpy import DaxpyKernel
+from repro.kernels.dot import DotKernel
+from repro.kernels.gemv import GemvKernel
+from repro.kernels.memcpy import MemcpyKernel
+from repro.kernels.relu import ReluKernel
+from repro.kernels.saxpy import SaxpyKernel
+from repro.kernels.scale import ScaleKernel
+from repro.kernels.stencil3 import Stencil3Kernel
+from repro.kernels.vecsum import VecsumKernel
+
+_REGISTRY: typing.Dict[str, Kernel] = {}
+
+
+def register_kernel(kernel: Kernel) -> Kernel:
+    """Add a kernel instance to the registry (unique names enforced)."""
+    if not kernel.name:
+        raise KernelError("kernel has no name")
+    if kernel.name in _REGISTRY:
+        raise KernelError(f"kernel {kernel.name!r} already registered")
+    _REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look a kernel up by name.
+
+    Raises
+    ------
+    KernelError
+        If no kernel has that name (the message lists what exists).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown kernel {name!r}; available: {', '.join(kernel_names())}"
+        ) from None
+
+
+def kernel_names() -> typing.List[str]:
+    """Registered kernel names, sorted."""
+    return sorted(_REGISTRY)
+
+
+for _kernel_class in (DaxpyKernel, SaxpyKernel, AxpbyKernel, MemcpyKernel,
+                      ScaleKernel, VecsumKernel, DotKernel, GemvKernel,
+                      Stencil3Kernel, ReluKernel):
+    register_kernel(_kernel_class())

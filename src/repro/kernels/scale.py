@@ -1,0 +1,29 @@
+"""Scale: ``y = a*x`` — one multiply per element, out of place."""
+
+from __future__ import annotations
+
+from repro.kernels.base import ELEM_BYTES, Kernel, KernelTiming, WorkSlice
+
+
+class ScaleKernel(Kernel):
+    """Double-precision ``y = a*x``."""
+
+    name = "scale"
+    tileable = True
+    scalar_names = ("a",)
+    input_names = ("x",)
+    output_names = ("y",)
+    timing = KernelTiming(setup_cycles=18, cpe_num=3, cpe_den=2)
+    host_timing = KernelTiming(setup_cycles=12, cpe_num=3, cpe_den=1)
+
+    def slice_bytes_in(self, lo: int, hi: int, n: int) -> int:
+        return (hi - lo) * ELEM_BYTES
+
+    def slice_bytes_out(self, lo: int, hi: int, n: int) -> int:
+        return (hi - lo) * ELEM_BYTES
+
+    def compute_slice(self, n, scalars, inputs, work: WorkSlice):
+        return {"y": (work.lo, scalars["a"] * inputs["x"][work.lo:work.hi])}
+
+    def flops(self, n: int) -> int:
+        return n

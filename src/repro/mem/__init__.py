@@ -1,0 +1,33 @@
+"""Memory subsystem models.
+
+Functional state (what is stored where) is kept separate from timing
+(when an access completes): storage classes here mutate state
+instantaneously, while the interconnect (:mod:`repro.noc`) and the DMA
+engines (:mod:`repro.cluster.dma`) decide *when* those mutations happen
+and how long the initiator stalls.
+
+Contents
+--------
+:class:`MainMemory`
+    NumPy-backed shared main memory (the HBM/L2 the paper's DMA
+    transfers hit), with a bump allocator for experiment buffers.
+:class:`Tcdm`
+    Per-cluster tightly-coupled data memory (scratchpad).
+:class:`AddressMap` / :class:`Region`
+    Routes word accesses to memories and MMIO devices.
+:class:`MmioDevice`
+    Interface implemented by peripherals (sync unit, mailboxes).
+"""
+
+from repro.mem.map import AddressMap, MmioDevice, Region
+from repro.mem.memory import MainMemory, WORD_BYTES
+from repro.mem.tcdm import Tcdm
+
+__all__ = [
+    "AddressMap",
+    "MainMemory",
+    "MmioDevice",
+    "Region",
+    "Tcdm",
+    "WORD_BYTES",
+]

@@ -1,0 +1,151 @@
+"""System address map: routing word accesses to memories and MMIO devices."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import MemoryError_
+from repro.mem.memory import MainMemory
+
+
+class MmioDevice:
+    """Interface for memory-mapped peripherals.
+
+    Subclasses implement word-granular register access relative to the
+    device's base (``offset`` is ``addr - region.base``).  MMIO accesses
+    are functional; the interconnect applies timing before invoking them
+    and may trigger side effects (e.g. a write to the sync unit's
+    increment register bumps the credit counter).
+    """
+
+    def read_register(self, offset: int) -> int:
+        """Read the register at byte ``offset``; override in devices."""
+        raise MemoryError_(
+            f"{type(self).__name__} has no readable register at +{offset:#x}"
+        )
+
+    def write_register(self, offset: int, value: int) -> None:
+        """Write the register at byte ``offset``; override in devices."""
+        raise MemoryError_(
+            f"{type(self).__name__} has no writable register at +{offset:#x}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A half-open address range ``[base, base + size)`` bound to a target.
+
+    ``target`` is either a :class:`~repro.mem.memory.MainMemory`-like
+    storage (word access by absolute address) or an :class:`MmioDevice`
+    (register access by offset).
+    """
+
+    name: str
+    base: int
+    size: int
+    target: typing.Union[MainMemory, MmioDevice]
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise MemoryError_(f"region {self.name!r} has size {self.size}")
+        if self.base < 0:
+            raise MemoryError_(f"region {self.name!r} has negative base")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class AddressMap:
+    """An ordered, non-overlapping collection of :class:`Region` objects.
+
+    Lookup is linear over a handful of regions, which profiling shows is
+    never hot: bulk data moves through the DMA engines' block copies,
+    not through per-word map lookups.
+    """
+
+    def __init__(self) -> None:
+        self._regions: typing.List[Region] = []
+
+    def add(self, region: Region) -> Region:
+        """Register a region; rejects overlaps and duplicate names."""
+        for existing in self._regions:
+            if existing.overlaps(region):
+                raise MemoryError_(
+                    f"region {region.name!r} [{region.base:#x}, {region.end:#x}) "
+                    f"overlaps {existing.name!r} "
+                    f"[{existing.base:#x}, {existing.end:#x})"
+                )
+            if existing.name == region.name:
+                raise MemoryError_(f"duplicate region name {region.name!r}")
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        return region
+
+    def add_device(self, name: str, base: int, size: int,
+                   device: MmioDevice) -> Region:
+        """Convenience wrapper for registering an MMIO device."""
+        return self.add(Region(name=name, base=base, size=size, target=device))
+
+    def region_at(self, addr: int) -> Region:
+        """The region containing ``addr``.
+
+        Raises
+        ------
+        MemoryError_
+            If the address is unmapped.
+        """
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        raise MemoryError_(f"access to unmapped address {addr:#x}")
+
+    def region_named(self, name: str) -> Region:
+        """The region with the given name (KeyError if absent)."""
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"no region named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Word-level routed access (used by the interconnect at delivery time)
+    # ------------------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        """Route a word read to the owning region's target."""
+        region = self.region_at(addr)
+        if isinstance(region.target, MmioDevice):
+            return region.target.read_register(addr - region.base)
+        return region.target.read_word(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Route a word write to the owning region's target."""
+        region = self.region_at(addr)
+        if isinstance(region.target, MmioDevice):
+            region.target.write_register(addr - region.base, value)
+            return
+        region.target.write_word(addr, value)
+
+    def amo_add(self, addr: int, operand: int) -> int:
+        """Atomic fetch-and-add on a word; returns the *old* value.
+
+        MMIO registers also accept AMOs (the baseline completion flag
+        lives in main memory, but clusters could equally target a
+        device register).
+        """
+        old = self.read_word(addr)
+        self.write_word(addr, old + operand)
+        return old
+
+    @property
+    def regions(self) -> typing.Tuple[Region, ...]:
+        return tuple(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)

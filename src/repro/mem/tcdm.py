@@ -1,0 +1,61 @@
+"""Per-cluster tightly-coupled data memory (scratchpad)."""
+
+from __future__ import annotations
+
+import numpy
+
+from repro.errors import MemoryError_
+from repro.mem.memory import MainMemory, WORD_BYTES
+
+
+class Tcdm(MainMemory):
+    """A cluster's software-managed scratchpad.
+
+    Functionally a small :class:`MainMemory`; the distinction matters
+    because job operand slices *must fit* in the TCDM for the cluster's
+    cores to work on them (there is no cache), so capacity is a hard
+    offload constraint that :mod:`repro.runtime` enforces.
+
+    Bank-conflict behaviour is folded into the kernels' calibrated
+    cycles-per-element rates (see :mod:`repro.kernels.base`): Snitch-style
+    clusters provision one 64-bit bank port per core times a banking
+    factor, and for streaming kernels the average conflict penalty is a
+    constant factor — exactly what a per-element rate captures.  The bank
+    count is still modelled so kernels can derive rates from it.
+
+    Parameters
+    ----------
+    size_bytes:
+        Scratchpad capacity (Manticore-like default: 128 KiB).
+    base:
+        Base byte address in the system map.
+    num_banks:
+        Number of 64-bit SRAM banks (Manticore-like default: 32).
+    """
+
+    def __init__(self, size_bytes: int = 128 * 1024, base: int = 0x1000_0000,
+                 num_banks: int = 32) -> None:
+        super().__init__(size_bytes=size_bytes, base=base)
+        if num_banks <= 0:
+            raise MemoryError_(f"TCDM needs at least one bank, got {num_banks}")
+        self.num_banks = num_banks
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether a buffer of ``nbytes`` could ever be allocated here."""
+        return 0 < nbytes <= self.size_bytes
+
+    def free_bytes(self) -> int:
+        """Bytes still available to the bump allocator."""
+        return self.base + self.size_bytes - (self.base + self.allocated_bytes)
+
+    def bank_of(self, addr: int) -> int:
+        """Bank index of a word address (word-interleaved mapping)."""
+        self._check_aligned(addr)
+        if not self.contains(addr):
+            raise MemoryError_(f"address {addr:#x} not in TCDM")
+        return ((addr - self.base) // WORD_BYTES) % self.num_banks
+
+    def clear(self) -> None:
+        """Zero the storage and reset the allocator (job teardown)."""
+        self._data[:] = numpy.uint8(0)
+        self.reset_allocator()

@@ -1,0 +1,28 @@
+"""Interconnect models.
+
+The interconnect carries *control* traffic: host stores/loads to cluster
+peripherals and MMIO devices, cluster atomics and posted writes back
+toward the host side.  Bulk *data* traffic (DMA bursts) does not travel
+here — it uses the bandwidth-arbitrated memory channels owned by the SoC
+(see :class:`repro.sim.ThroughputChannel` and
+:class:`repro.cluster.dma.DmaEngine`), matching the split between the
+narrow configuration interconnect and the wide data interconnect in
+Manticore-class designs.
+
+The paper's first hardware extension lives here:
+:meth:`Interconnect.host_multicast_write` replicates one host store to
+many cluster targets with a single host-port occupancy, making dispatch
+cost constant in the number of clusters instead of linear.
+"""
+
+from repro.noc.packet import Transaction, TransactionKind
+from repro.noc.multicast import multicast_targets
+from repro.noc.xbar import Interconnect, NocParams
+
+__all__ = [
+    "Interconnect",
+    "NocParams",
+    "Transaction",
+    "TransactionKind",
+    "multicast_targets",
+]

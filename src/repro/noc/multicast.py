@@ -1,0 +1,52 @@
+"""Multicast target-set construction.
+
+In the extended hardware, the host's load-store unit recognizes stores
+to a *multicast window*: one store is replicated by the interconnect to
+the same peripheral offset in every selected cluster.  The selection is
+a contiguous range of cluster IDs here (the paper always offloads to
+clusters ``0..M-1``), expressed as the list of concrete per-cluster
+addresses the replication tree must deliver to.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ConfigError
+
+
+def multicast_targets(base: int, stride: int, count: int,
+                      offset: int = 0) -> typing.Tuple[int, ...]:
+    """Per-cluster delivery addresses for a multicast store.
+
+    Parameters
+    ----------
+    base:
+        Base address of cluster 0's peripheral block.
+    stride:
+        Address distance between consecutive clusters' blocks.
+    count:
+        Number of clusters selected (IDs ``0..count-1``).
+    offset:
+        Register offset within each cluster's block.
+
+    Returns
+    -------
+    tuple of int
+        One absolute address per selected cluster, in cluster-ID order.
+
+    Raises
+    ------
+    ConfigError
+        If the parameters do not describe a valid target set.
+    """
+    if count <= 0:
+        raise ConfigError(f"multicast needs at least one target, got {count}")
+    if stride <= 0:
+        raise ConfigError(f"multicast stride must be positive, got {stride}")
+    if offset < 0 or offset >= stride:
+        raise ConfigError(
+            f"multicast register offset {offset:#x} outside the per-cluster "
+            f"block (stride {stride:#x})"
+        )
+    return tuple(base + cluster * stride + offset for cluster in range(count))

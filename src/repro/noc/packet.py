@@ -1,0 +1,72 @@
+"""Transaction records carried by the interconnect.
+
+These are bookkeeping objects: the timing lives in
+:class:`repro.noc.xbar.Interconnect` and the state change in the address
+map targets.  Keeping an explicit record per transaction gives tests and
+traces something concrete to assert on (ordering, counts, targets).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+
+class TransactionKind(enum.Enum):
+    """The four operations the control interconnect supports."""
+
+    READ = "read"
+    WRITE = "write"
+    AMO_ADD = "amo_add"
+    MULTICAST_WRITE = "multicast_write"
+
+
+@dataclasses.dataclass(frozen=True)
+class Transaction:
+    """One interconnect transaction.
+
+    Attributes
+    ----------
+    kind:
+        Operation type.
+    source:
+        Initiator label (``"host"`` or ``"cluster<i>"``).
+    addresses:
+        Target byte addresses — a single element except for multicasts.
+    value:
+        Store data / AMO operand (``None`` for reads).
+    posted:
+        Whether the initiator continues without waiting for delivery.
+    issued_at:
+        Cycle the transaction entered its request port.
+    """
+
+    kind: TransactionKind
+    source: str
+    addresses: typing.Tuple[int, ...]
+    value: typing.Optional[int]
+    posted: bool
+    issued_at: int
+
+    def __post_init__(self) -> None:
+        if not self.addresses:
+            raise ValueError("transaction must target at least one address")
+        if self.kind is not TransactionKind.MULTICAST_WRITE \
+                and len(self.addresses) != 1:
+            raise ValueError(
+                f"{self.kind.value} transaction must target exactly one "
+                f"address, got {len(self.addresses)}"
+            )
+
+    @property
+    def address(self) -> int:
+        """The single target address (unicast transactions only)."""
+        if len(self.addresses) != 1:
+            raise ValueError("multicast transaction has multiple addresses")
+        return self.addresses[0]
+
+    @property
+    def fanout(self) -> int:
+        """Number of delivery targets."""
+        return len(self.addresses)

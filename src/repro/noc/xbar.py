@@ -1,0 +1,255 @@
+"""The control interconnect: host and cluster ports, timing, routing.
+
+Timing model
+------------
+Each initiator owns a *request port* (:class:`repro.sim.SerialResource`)
+that serializes its outgoing transactions: a store occupies the host
+port for ``store_occupancy`` cycles, which is what makes the baseline's
+one-store-per-cluster dispatch loop linear in the cluster count.  After
+leaving the port, a transaction takes ``request_latency`` cycles to
+reach its target, where the functional state change happens; responses
+(read data, AMO results, store acks) take ``response_latency`` cycles
+back.
+
+Multicast stores occupy the host port *once* and are delivered to every
+target after an extra ``multicast_tree_latency`` (the replication tree
+depth) — the paper's interconnect extension.
+
+Atomics from all clusters serialize at a single atomics port in front of
+shared memory (``amo_service_cycles`` each), which is why the baseline's
+completion protocol degrades as clusters multiply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ConfigError
+from repro.mem.map import AddressMap
+from repro.noc.packet import Transaction, TransactionKind
+from repro.sim import Event, SerialResource, Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class NocParams:
+    """Interconnect timing parameters (cycles).
+
+    Defaults are calibrated so the full system reproduces the paper's
+    emergent constants; see ``tests/integration/test_calibration.py``.
+    """
+
+    request_latency: int = 6
+    response_latency: int = 6
+    store_occupancy: int = 8
+    load_occupancy: int = 2
+    cluster_port_occupancy: int = 1
+    multicast_enabled: bool = False
+    multicast_tree_latency: int = 3
+    amo_service_cycles: int = 2
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range parameters."""
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if field.type == "int" and value < 0:
+                raise ConfigError(f"NocParams.{field.name} must be >= 0, got {value}")
+        if self.store_occupancy == 0:
+            raise ConfigError("store_occupancy must be at least 1 cycle")
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteHandle:
+    """The three milestones of a store.
+
+    Attributes
+    ----------
+    issued:
+        Port occupancy released — a *posted* store lets the initiator
+        continue here.
+    delivered:
+        Functional write performed at the target.
+    acked:
+        Ack returned to the initiator — a *non-posted* store stalls the
+        initiator until here.
+    """
+
+    issued: Event
+    delivered: Event
+    acked: Event
+
+
+class Interconnect:
+    """Routes timed control transactions through the address map."""
+
+    def __init__(self, sim: Simulator, address_map: AddressMap,
+                 params: typing.Optional[NocParams] = None,
+                 num_clusters: int = 1) -> None:
+        params = params or NocParams()
+        params.validate()
+        if num_clusters <= 0:
+            raise ConfigError(f"need at least one cluster, got {num_clusters}")
+        self.sim = sim
+        self.address_map = address_map
+        self.params = params
+        self.host_port = SerialResource(sim, "noc.host_port")
+        self.cluster_ports = [
+            SerialResource(sim, f"noc.cluster{i}_port") for i in range(num_clusters)
+        ]
+        self.amo_port = SerialResource(sim, "noc.amo_port")
+        self.transactions: typing.List[Transaction] = []
+
+    # ------------------------------------------------------------------
+    # Host-initiated traffic
+    # ------------------------------------------------------------------
+    def host_write(self, addr: int, value: int) -> WriteHandle:
+        """A host store to one target; see :class:`WriteHandle`."""
+        self._log(TransactionKind.WRITE, "host", (addr,), value)
+        return self._write(self.host_port, self.params.store_occupancy,
+                           self.params.request_latency, (addr,), value)
+
+    def host_multicast_write(self, addresses: typing.Sequence[int],
+                             value: int) -> WriteHandle:
+        """One host store replicated to many targets (the extension).
+
+        Raises
+        ------
+        ConfigError
+            If the interconnect was built without multicast support.
+        """
+        if not self.params.multicast_enabled:
+            raise ConfigError(
+                "multicast store on an interconnect without the multicast "
+                "extension (set NocParams.multicast_enabled)"
+            )
+        addresses = tuple(addresses)
+        self._log(TransactionKind.MULTICAST_WRITE, "host", addresses, value)
+        latency = self.params.request_latency + self.params.multicast_tree_latency
+        return self._write(self.host_port, self.params.store_occupancy,
+                           latency, addresses, value)
+
+    def host_read(self, addr: int) -> Event:
+        """A host load; the returned event's value is the data."""
+        self._log(TransactionKind.READ, "host", (addr,), None)
+        return self._read(self.host_port, self.params.load_occupancy, addr)
+
+    # ------------------------------------------------------------------
+    # Cluster-initiated traffic
+    # ------------------------------------------------------------------
+    def cluster_write(self, cluster_id: int, addr: int, value: int) -> WriteHandle:
+        """A cluster store (e.g. the posted sync-unit increment)."""
+        port = self._cluster_port(cluster_id)
+        self._log(TransactionKind.WRITE, f"cluster{cluster_id}", (addr,), value)
+        return self._write(port, self.params.cluster_port_occupancy,
+                           self.params.request_latency, (addr,), value)
+
+    def cluster_read(self, cluster_id: int, addr: int) -> Event:
+        """A cluster load (e.g. the DM core fetching the job descriptor)."""
+        port = self._cluster_port(cluster_id)
+        self._log(TransactionKind.READ, f"cluster{cluster_id}", (addr,), None)
+        return self._read(port, self.params.cluster_port_occupancy, addr)
+
+    def cluster_read_burst(self, cluster_id: int, addr: int,
+                           nwords: int) -> Event:
+        """A burst read of ``nwords`` consecutive words (AXI-style).
+
+        Costs one round trip plus one beat per extra word; the event's
+        value is the list of words.  Used by DM cores to fetch job
+        descriptors in one or two bursts instead of word-by-word loads.
+        """
+        if nwords <= 0:
+            raise ConfigError(f"burst length must be positive, got {nwords}")
+        port = self._cluster_port(cluster_id)
+        self._log(TransactionKind.READ, f"cluster{cluster_id}", (addr,), None)
+        done = self.sim.event(name=f"burst@{addr:#x}")
+
+        def body():
+            yield port.request(self.params.cluster_port_occupancy)
+            yield self.params.request_latency
+            values = [self.address_map.read_word(addr + 8 * i)
+                      for i in range(nwords)]
+            yield self.params.response_latency + (nwords - 1)
+            done.trigger(values)
+
+        self.sim.spawn(body(), name=f"noc.burst.c{cluster_id}")
+        return done
+
+    def cluster_amo_add(self, cluster_id: int, addr: int, operand: int) -> Event:
+        """Atomic fetch-and-add from a cluster; event value is the *old* word.
+
+        All AMOs serialize at the shared atomics port, so concurrent
+        completion flags from many clusters queue up — the baseline
+        synchronization cost the credit counter removes.
+        """
+        port = self._cluster_port(cluster_id)
+        self._log(TransactionKind.AMO_ADD, f"cluster{cluster_id}", (addr,), operand)
+        done = self.sim.event(name=f"amo@{addr:#x}")
+
+        def body():
+            yield port.request(self.params.cluster_port_occupancy)
+            yield self.params.request_latency
+            yield self.amo_port.request(self.params.amo_service_cycles)
+            old = self.address_map.amo_add(addr, operand)
+            yield self.params.response_latency
+            done.trigger(old)
+
+        self.sim.spawn(body(), name=f"noc.amo.c{cluster_id}")
+        return done
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cluster_port(self, cluster_id: int) -> SerialResource:
+        if not 0 <= cluster_id < len(self.cluster_ports):
+            raise ConfigError(
+                f"cluster id {cluster_id} out of range "
+                f"[0, {len(self.cluster_ports)})"
+            )
+        return self.cluster_ports[cluster_id]
+
+    def _write(self, port: SerialResource, occupancy: int, latency: int,
+               addresses: typing.Tuple[int, ...], value: int) -> WriteHandle:
+        issued = port.request(occupancy)
+        delivered = self.sim.event(name="write.delivered")
+        acked = self.sim.event(name="write.acked")
+
+        def body():
+            yield issued
+            yield latency
+            for addr in addresses:
+                self.address_map.write_word(addr, value)
+            delivered.trigger(self.sim.now)
+            yield self.params.response_latency
+            acked.trigger(self.sim.now)
+
+        self.sim.spawn(body(), name="noc.write")
+        return WriteHandle(issued=issued, delivered=delivered, acked=acked)
+
+    def _read(self, port: SerialResource, occupancy: int, addr: int) -> Event:
+        done = self.sim.event(name=f"read@{addr:#x}")
+
+        def body():
+            yield port.request(occupancy)
+            yield self.params.request_latency
+            value = self.address_map.read_word(addr)
+            yield self.params.response_latency
+            done.trigger(value)
+
+        self.sim.spawn(body(), name="noc.read")
+        return done
+
+    def _log(self, kind: TransactionKind, source: str,
+             addresses: typing.Tuple[int, ...],
+             value: typing.Optional[int]) -> None:
+        self.transactions.append(Transaction(
+            kind=kind, source=source, addresses=addresses, value=value,
+            posted=False, issued_at=self.sim.now,
+        ))
+
+    def count(self, kind: TransactionKind,
+              source: typing.Optional[str] = None) -> int:
+        """Number of logged transactions of a kind (optionally per source)."""
+        return sum(
+            1 for txn in self.transactions
+            if txn.kind is kind and (source is None or txn.source == source)
+        )

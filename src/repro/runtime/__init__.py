@@ -1,0 +1,32 @@
+"""Host-side offload runtimes.
+
+An offload runtime is the software routine the host core executes to
+hand a job to the accelerator and wait for its completion.  The paper
+co-designs this routine with two hardware extensions; the four possible
+software/hardware pairings are expressed as *variants*:
+
+================ ================== ============================
+variant          dispatch           completion
+================ ================== ============================
+baseline         sequential stores  AMO flag + host polling
+multicast_only   one multicast      AMO flag + host polling
+hw_sync_only     sequential stores  credit counter + interrupt
+extended         one multicast      credit counter + interrupt
+================ ================== ============================
+
+``baseline`` and ``extended`` are the two designs Fig. 1 compares;
+the two mixed variants isolate each extension's contribution
+(ablation A1 in DESIGN.md).
+"""
+
+from repro.runtime.api import RUNTIME_VARIANTS, make_runtime
+from repro.runtime.protocol import OffloadRuntime
+from repro.runtime.trace import ClusterPhases, OffloadTrace
+
+__all__ = [
+    "ClusterPhases",
+    "OffloadRuntime",
+    "OffloadTrace",
+    "RUNTIME_VARIANTS",
+    "make_runtime",
+]

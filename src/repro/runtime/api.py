@@ -1,0 +1,46 @@
+"""Runtime variant registry and factory."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import OffloadError
+from repro.runtime.protocol import OffloadRuntime
+from repro.soc.manticore import ManticoreSystem
+
+#: Variant name → (use_multicast, use_hw_sync).
+RUNTIME_VARIANTS: typing.Dict[str, typing.Tuple[bool, bool]] = {
+    "baseline": (False, False),
+    "multicast_only": (True, False),
+    "hw_sync_only": (False, True),
+    "extended": (True, True),
+}
+
+
+def make_runtime(system: ManticoreSystem,
+                 variant: str = "auto") -> OffloadRuntime:
+    """Build an offload runtime for ``system``.
+
+    ``variant="auto"`` uses every extension the hardware provides (a
+    baseline SoC gets the baseline routine, an extended SoC the extended
+    one); the explicit names select a software variant, which must be
+    supported by the hardware.
+
+    Raises
+    ------
+    OffloadError
+        On unknown variant names or software/hardware mismatches.
+    """
+    if variant == "auto":
+        flags = (system.config.multicast, system.config.hw_sync)
+    else:
+        try:
+            flags = RUNTIME_VARIANTS[variant]
+        except KeyError:
+            raise OffloadError(
+                f"unknown runtime variant {variant!r}; available: "
+                f"auto, {', '.join(sorted(RUNTIME_VARIANTS))}"
+            ) from None
+    use_multicast, use_hw_sync = flags
+    return OffloadRuntime(system, use_multicast=use_multicast,
+                          use_hw_sync=use_hw_sync)

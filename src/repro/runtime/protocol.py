@@ -1,0 +1,301 @@
+"""The offload protocol: the host program for one job.
+
+The program below is the simulated equivalent of the C offload routine
+running on CVA6.  Its structure (and where the cycles go) is:
+
+1. *Setup*: runtime-entry bookkeeping, then store the job descriptor to
+   shared memory word by word.  All but the last store are posted; the
+   last is non-posted and acts as the release fence guaranteeing the
+   descriptor is visible before any doorbell rings.
+2. *Arm completion*: write the sync-unit THRESHOLD (extended) or zero
+   the shared completion flag (baseline).
+3. *Dispatch*: ring each selected cluster's doorbell with the
+   descriptor pointer — a sequential store loop (baseline, cost linear
+   in M) or a single multicast store (extension, constant cost).
+4. *Wait*: WFI until the sync unit's interrupt (extended), or poll the
+   completion flag until it reaches M (baseline).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import abi
+from repro.errors import OffloadError
+from repro.soc.manticore import ManticoreSystem
+from repro.soc.syncunit import IRQ_LINE
+
+
+class OffloadRuntime:
+    """Host-side offload routine with selectable dispatch/completion.
+
+    Parameters
+    ----------
+    system:
+        The SoC to run on.  The requested features must exist in its
+        hardware configuration.
+    use_multicast:
+        Dispatch with one multicast store instead of a store loop.
+    use_hw_sync:
+        Complete via the credit-counter unit's interrupt instead of
+        AMO-and-poll.
+    name:
+        Variant label recorded into results.
+    """
+
+    def __init__(self, system: ManticoreSystem, use_multicast: bool,
+                 use_hw_sync: bool, name: str = "") -> None:
+        config = system.config
+        if use_multicast and not config.multicast:
+            raise OffloadError(
+                "runtime requests multicast dispatch but the SoC was built "
+                "without the multicast extension")
+        if use_hw_sync and not config.hw_sync:
+            raise OffloadError(
+                "runtime requests hardware synchronization but the SoC was "
+                "built without the sync unit enabled")
+        self.system = system
+        self.use_multicast = use_multicast
+        self.use_hw_sync = use_hw_sync
+        self.name = name or self._default_name()
+
+    def _default_name(self) -> str:
+        return {
+            (False, False): "baseline",
+            (True, False): "multicast_only",
+            (False, True): "hw_sync_only",
+            (True, True): "extended",
+        }[(self.use_multicast, self.use_hw_sync)]
+
+    @property
+    def sync_mode(self) -> int:
+        """The descriptor sync-mode field this runtime dispatches with."""
+        return abi.SYNC_MODE_SYNCUNIT if self.use_hw_sync else abi.SYNC_MODE_AMO
+
+    # ------------------------------------------------------------------
+    # Protocol building blocks
+    # ------------------------------------------------------------------
+    def dispatch(self, desc: abi.JobDescriptor,
+                 desc_addr: int) -> typing.Generator:
+        """Ring the doorbells of the job's cluster range.
+
+        One multicast store (extension), a plain store for
+        single-cluster jobs, or the baseline's sequential store loop.
+        """
+        system = self.system
+        host = system.host
+        config = system.config
+        first = desc.first_cluster
+        if self.use_multicast and desc.num_clusters > 1:
+            addrs = system.mailbox_addrs(desc.num_clusters, first)
+            yield from host.multicast_store(addrs, desc_addr)
+        elif self.use_multicast:
+            # A multicast of one would only pay the replication-tree
+            # latency; dispatch single-cluster jobs with a plain store.
+            yield from host.store_posted(system.mailbox_addr(first),
+                                         desc_addr)
+        else:
+            for cluster_id in range(first, first + desc.num_clusters):
+                yield from host.execute(config.host_addr_calc_cycles)
+                yield from host.store_posted(
+                    system.mailbox_addr(cluster_id), desc_addr)
+
+    # ------------------------------------------------------------------
+    # The host program
+    # ------------------------------------------------------------------
+    def offload_program(self, desc: abi.JobDescriptor, desc_addr: int,
+                        flag_addr: typing.Optional[int],
+                        result: typing.Dict[str, int]) -> typing.Generator:
+        """Build the host program for one offload.
+
+        ``result`` receives ``start_cycle`` and ``end_cycle``.
+        ``flag_addr`` is the polling flag (AMO completion only).
+        """
+        if not self.use_hw_sync and flag_addr is None:
+            raise OffloadError("AMO completion requires a flag address")
+        system = self.system
+        host = system.host
+        config = system.config
+        words = abi.encode_descriptor(desc)
+
+        def program() -> typing.Generator:
+            result["start_cycle"] = system.sim.now
+            system.trace.record("host", "offload_start", desc.kernel_name)
+
+            # --- 1. Setup: runtime entry + descriptor store -------------
+            yield from host.execute(config.host_setup_cycles)
+            for word_index, word in enumerate(words[:-1]):
+                yield from host.store_posted(desc_addr + 8 * word_index, word)
+            # Release fence: the last descriptor word is non-posted.
+            yield from host.store(desc_addr + 8 * (len(words) - 1), words[-1])
+            system.trace.record("host", "descriptor_written", len(words))
+
+            # --- 2. Arm completion --------------------------------------
+            if self.use_hw_sync:
+                yield from host.store_posted(
+                    system.syncunit_threshold_addr, desc.num_clusters)
+            else:
+                yield from host.store_posted(flag_addr, 0)
+
+            # --- 3. Dispatch ---------------------------------------------
+            system.trace.record("host", "dispatch_start")
+            yield from self.dispatch(desc, desc_addr)
+            system.trace.record("host", "dispatch_done")
+
+            # --- 4. Wait for completion -----------------------------------
+            if self.use_hw_sync:
+                yield from host.wfi(IRQ_LINE)
+            else:
+                while True:
+                    value = yield from host.load(flag_addr)
+                    if value >= desc.num_clusters:
+                        break
+                    yield from host.execute(config.host_poll_gap_cycles)
+
+            system.trace.record("host", "offload_end")
+            result["end_cycle"] = system.sim.now
+
+        return program()
+
+    def overlapped_offload_program(
+            self, desc: abi.JobDescriptor, desc_addr: int,
+            flag_addr: typing.Optional[int],
+            host_work: typing.Callable[[], typing.Generator],
+            result: typing.Dict[str, int]) -> typing.Generator:
+        """Offload a job, run host work while it executes, then wait.
+
+        The co-operative heterogeneous pattern the paper's class of
+        systems targets: the host is *not* idle during the offload — it
+        dispatches, runs ``host_work()`` (a host program fragment,
+        e.g. its own kernel), and only then synchronizes.  With the
+        sync-unit extension an interrupt that arrived during the host
+        work leaves the line pending and the WFI falls straight
+        through; the baseline simply starts polling late.
+
+        ``result`` additionally receives ``host_work_done_cycle``.
+        """
+        if not self.use_hw_sync and flag_addr is None:
+            raise OffloadError("AMO completion requires a flag address")
+        system = self.system
+        host = system.host
+        config = system.config
+        words = abi.encode_descriptor(desc)
+
+        def program() -> typing.Generator:
+            result["start_cycle"] = system.sim.now
+            system.trace.record("host", "offload_start", desc.kernel_name)
+
+            yield from host.execute(config.host_setup_cycles)
+            for word_index, word in enumerate(words[:-1]):
+                yield from host.store_posted(desc_addr + 8 * word_index, word)
+            yield from host.store(desc_addr + 8 * (len(words) - 1),
+                                  words[-1])
+            system.trace.record("host", "descriptor_written", len(words))
+
+            if self.use_hw_sync:
+                yield from host.store_posted(
+                    system.syncunit_threshold_addr, desc.num_clusters)
+            else:
+                yield from host.store_posted(flag_addr, 0)
+
+            system.trace.record("host", "dispatch_start")
+            yield from self.dispatch(desc, desc_addr)
+            system.trace.record("host", "dispatch_done")
+
+            # --- Host work overlaps the accelerator's execution ----------
+            yield from host_work()
+            system.trace.record("host", "host_work_done")
+            result["host_work_done_cycle"] = system.sim.now
+
+            if self.use_hw_sync:
+                yield from host.wfi(IRQ_LINE)
+            else:
+                while True:
+                    value = yield from host.load(flag_addr)
+                    if value >= desc.num_clusters:
+                        break
+                    yield from host.execute(config.host_poll_gap_cycles)
+
+            system.trace.record("host", "offload_end")
+            result["end_cycle"] = system.sim.now
+
+        return program()
+
+    def concurrent_offload_program(
+            self,
+            jobs: typing.Sequence[typing.Tuple[abi.JobDescriptor, int]],
+            flag_addrs: typing.Optional[typing.Sequence[int]],
+            result: typing.Dict[str, int]) -> typing.Generator:
+        """Host program launching several space-shared jobs at once.
+
+        ``jobs`` pairs each descriptor with its memory address; the
+        descriptors must target disjoint cluster ranges (the caller —
+        :func:`repro.core.concurrent.offload_concurrent` — validates).
+        With hardware sync, one threshold equal to the *total* cluster
+        count turns the credit counter into a completion barrier across
+        all jobs (a single interrupt when the last job drains); with AMO
+        completion each job gets its own flag and the host polls them in
+        turn.
+        """
+        if not jobs:
+            raise OffloadError("concurrent offload of zero jobs")
+        if not self.use_hw_sync:
+            if flag_addrs is None or len(flag_addrs) != len(jobs):
+                raise OffloadError(
+                    "AMO completion requires one flag address per job")
+        system = self.system
+        host = system.host
+        config = system.config
+        total_clusters = sum(desc.num_clusters for desc, _addr in jobs)
+
+        def program() -> typing.Generator:
+            result["start_cycle"] = system.sim.now
+            system.trace.record("host", "offload_start",
+                                [desc.kernel_name for desc, _a in jobs])
+
+            # --- 1. Setup: runtime entry + all descriptors ---------------
+            yield from host.execute(config.host_setup_cycles)
+            for index, (desc, desc_addr) in enumerate(jobs):
+                words = abi.encode_descriptor(desc)
+                last_job = index == len(jobs) - 1
+                for word_index, word in enumerate(words[:-1]):
+                    yield from host.store_posted(
+                        desc_addr + 8 * word_index, word)
+                if last_job:
+                    # One release fence covers every descriptor store.
+                    yield from host.store(
+                        desc_addr + 8 * (len(words) - 1), words[-1])
+                else:
+                    yield from host.store_posted(
+                        desc_addr + 8 * (len(words) - 1), words[-1])
+            system.trace.record("host", "descriptor_written", len(jobs))
+
+            # --- 2. Arm completion --------------------------------------
+            if self.use_hw_sync:
+                yield from host.store_posted(
+                    system.syncunit_threshold_addr, total_clusters)
+            else:
+                for flag_addr in flag_addrs:
+                    yield from host.store_posted(flag_addr, 0)
+
+            # --- 3. Dispatch every job -----------------------------------
+            system.trace.record("host", "dispatch_start")
+            for desc, desc_addr in jobs:
+                yield from self.dispatch(desc, desc_addr)
+            system.trace.record("host", "dispatch_done")
+
+            # --- 4. Wait for all jobs --------------------------------------
+            if self.use_hw_sync:
+                yield from host.wfi(IRQ_LINE)
+            else:
+                for (desc, _addr), flag_addr in zip(jobs, flag_addrs):
+                    while True:
+                        value = yield from host.load(flag_addr)
+                        if value >= desc.num_clusters:
+                            break
+                        yield from host.execute(config.host_poll_gap_cycles)
+
+            system.trace.record("host", "offload_end")
+            result["end_cycle"] = system.sim.now
+
+        return program()

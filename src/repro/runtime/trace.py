@@ -1,0 +1,139 @@
+"""Offload phase breakdown, reconstructed from the trace log.
+
+The paper reasons about offload cost in phases (dispatch, job
+execution, completion synchronization).  :class:`OffloadTrace` rebuilds
+that breakdown for one measured offload from the markers the host
+program and the cluster DM cores record, so experiments can report not
+just the total but *where* the cycles went — e.g. that baseline
+dispatch grows linearly with M while multicast dispatch does not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.sim import TraceRecorder
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterPhases:
+    """Cycle timestamps of one cluster's job phases (absolute cycles)."""
+
+    cluster_id: int
+    doorbell: int
+    awake: int
+    decoded: int
+    dma_in_done: typing.Optional[int]
+    compute_done: typing.Optional[int]
+    dma_out_done: typing.Optional[int]
+    completion_signalled: int
+
+    @property
+    def had_work(self) -> bool:
+        """False for clusters that received an empty slice."""
+        return self.dma_in_done is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class OffloadTrace:
+    """Phase breakdown of one offload (all values in cycles)."""
+
+    start_cycle: int
+    descriptor_written: int
+    dispatch_start: int
+    dispatch_done: int
+    end_cycle: int
+    clusters: typing.Tuple[ClusterPhases, ...]
+
+    # ------------------------------------------------------------------
+    # Derived phase durations
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Full offload runtime as the host measures it."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def setup_cycles(self) -> int:
+        """Runtime entry + descriptor store + completion arming."""
+        return self.dispatch_start - self.start_cycle
+
+    @property
+    def dispatch_cycles(self) -> int:
+        """Doorbell distribution (the phase multicast compresses)."""
+        return self.dispatch_done - self.dispatch_start
+
+    @property
+    def completion_wait_cycles(self) -> int:
+        """Dispatch end to host observing completion."""
+        return self.end_cycle - self.dispatch_done
+
+    @property
+    def last_completion_cycle(self) -> int:
+        """When the final cluster signalled done."""
+        return max(c.completion_signalled for c in self.clusters)
+
+    @property
+    def sync_overhead_cycles(self) -> int:
+        """Last cluster signalling → host observing (the sync tail)."""
+        return self.end_cycle - self.last_completion_cycle
+
+    def phase_summary(self) -> typing.Dict[str, int]:
+        """The durations as a dict, for tables and assertions."""
+        return {
+            "setup": self.setup_cycles,
+            "dispatch": self.dispatch_cycles,
+            "completion_wait": self.completion_wait_cycles,
+            "sync_overhead": self.sync_overhead_cycles,
+            "total": self.total,
+        }
+
+
+def build_offload_trace(recorder: TraceRecorder, start_cycle: int,
+                        end_cycle: int) -> OffloadTrace:
+    """Assemble an :class:`OffloadTrace` from a recorder's markers.
+
+    Only markers inside ``[start_cycle, end_cycle]`` are considered, so
+    systems reused for several sequential offloads attribute each marker
+    to the right offload.
+    """
+    window = [r for r in recorder.records
+              if start_cycle <= r.cycle <= end_cycle]
+
+    def host_cycle(label: str) -> int:
+        for record in window:
+            if record.source == "host" and record.label == label:
+                return record.cycle
+        raise KeyError(f"host marker {label!r} missing from trace window")
+
+    clusters = []
+    cluster_ids = sorted({
+        int(r.source[len("cluster"):]) for r in window
+        if r.source.startswith("cluster") and r.label == "doorbell"
+    })
+    for cluster_id in cluster_ids:
+        source = f"cluster{cluster_id}"
+        marks: typing.Dict[str, int] = {}
+        for record in window:
+            if record.source == source and record.label not in marks:
+                marks[record.label] = record.cycle
+        clusters.append(ClusterPhases(
+            cluster_id=cluster_id,
+            doorbell=marks["doorbell"],
+            awake=marks["awake"],
+            decoded=marks["decoded"],
+            dma_in_done=marks.get("dma_in_done"),
+            compute_done=marks.get("compute_done"),
+            dma_out_done=marks.get("dma_out_done"),
+            completion_signalled=marks["completion_signalled"],
+        ))
+
+    return OffloadTrace(
+        start_cycle=start_cycle,
+        descriptor_written=host_cycle("descriptor_written"),
+        dispatch_start=host_cycle("dispatch_start"),
+        dispatch_done=host_cycle("dispatch_done"),
+        end_cycle=end_cycle,
+        clusters=tuple(clusters),
+    )

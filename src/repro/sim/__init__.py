@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-coroutine discrete-event simulator in
+the style of SimPy, written from scratch for this reproduction.  The
+hardware models in :mod:`repro.mem`, :mod:`repro.noc`, :mod:`repro.host`,
+:mod:`repro.cluster` and :mod:`repro.soc` are all built as processes on
+top of this kernel.
+
+Key concepts
+------------
+:class:`Simulator`
+    Owns the event queue and the current cycle count (``now``).  One
+    simulated time unit is one clock cycle (the paper drives all clocks
+    at 1 GHz, so 1 cycle == 1 ns).
+:class:`Process`
+    Wraps a Python generator.  The generator yields *waitables*: an
+    ``int`` (delay that many cycles), an :class:`Event` (wait until it is
+    triggered), another :class:`Process` (join), or an :class:`AllOf` /
+    :class:`AnyOf` combinator.
+:class:`Event`
+    A one-shot notification carrying an optional value.
+:class:`SerialResource`
+    A FIFO-served resource with a cycle cost per request — the exact
+    model used for shared buses, NoC ports and memory channels.
+
+Determinism: events scheduled for the same cycle fire in the order they
+were scheduled (a monotonically increasing sequence number breaks heap
+ties), so simulations are exactly reproducible run to run.
+"""
+
+from repro.sim.event import AllOf, AnyOf, Event
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.record import TraceRecorder, TraceRecord
+from repro.sim.resource import SerialResource, ThroughputChannel
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Process",
+    "SerialResource",
+    "Simulator",
+    "ThroughputChannel",
+    "TraceRecord",
+    "TraceRecorder",
+]

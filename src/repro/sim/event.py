@@ -1,0 +1,147 @@
+"""One-shot events and wait combinators for the simulation kernel."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+
+
+class Event:
+    """A one-shot notification that processes can wait on.
+
+    An event starts *untriggered*.  Calling :meth:`trigger` (optionally
+    with a value) schedules every waiting process to resume on the same
+    cycle, in the order they began waiting.  Triggering twice is an
+    error: hardware wires that pulse repeatedly should allocate a fresh
+    event per pulse (see e.g. :class:`repro.cluster.barrier.Barrier`).
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Optional label used in ``repr`` and trace records.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_triggered", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: typing.Any = None
+        self._triggered = False
+        self._callbacks: list = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`trigger` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> typing.Any:
+        """The value passed to :meth:`trigger`.
+
+        Raises
+        ------
+        SimulationError
+            If the event has not been triggered yet.
+        """
+        if not self._triggered:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._value
+
+    def trigger(self, value: typing.Any = None) -> "Event":
+        """Fire the event, resuming all waiters on the current cycle.
+
+        Returns the event itself so peripherals can ``return
+        event.trigger()`` in one statement.
+        """
+        if self._triggered:
+            raise SimulationError(f"event {self!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0, callback, self)
+        return self
+
+    def add_callback(self, callback) -> None:
+        """Register ``callback(event)`` to run when the event fires.
+
+        If the event already fired, the callback is scheduled for the
+        current cycle (it still runs *through the event queue*, never
+        synchronously, to keep ordering deterministic).
+        """
+        if self._triggered:
+            self.sim.schedule(0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        label = self.name or hex(id(self))
+        return f"<Event {label} {state}>"
+
+
+class _Combinator(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`.
+
+    A combinator is itself an :class:`Event`; it observes its children
+    and triggers once its completion rule is met.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: typing.Sequence[Event],
+                 name: str = "") -> None:
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        if not self.events:
+            # An empty conjunction/disjunction is vacuously complete.
+            self.sim.schedule(0, lambda _none: self._check(None), None)
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, _event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Combinator):
+    """Event that triggers once *all* child events have triggered.
+
+    Its value is the list of child values, in the order the children
+    were passed in.
+    """
+
+    __slots__ = ()
+
+    def _check(self, _event) -> None:
+        if self._triggered:
+            return
+        if all(event.triggered for event in self.events):
+            self.trigger([event.value for event in self.events])
+
+
+class AnyOf(_Combinator):
+    """Event that triggers once *any* child event has triggered.
+
+    Its value is ``(index, value)`` of the first child to fire (ties are
+    broken by scheduling order, which the kernel keeps deterministic).
+    """
+
+    __slots__ = ()
+
+    def _check(self, _event) -> None:
+        if self._triggered:
+            return
+        for index, event in enumerate(self.events):
+            if event.triggered:
+                self.trigger((index, event.value))
+                return
+        if not self.events:
+            self.trigger((None, None))

@@ -1,0 +1,137 @@
+"""The simulation kernel: event queue, clock, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.event import AllOf, AnyOf, Event
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Owns simulated time and the pending-callback queue.
+
+    Time is an integer cycle count starting at 0.  All model code runs
+    inside callbacks popped from a single priority queue keyed on
+    ``(cycle, sequence)``; the sequence number guarantees FIFO order for
+    same-cycle callbacks, which makes every simulation bit-reproducible.
+
+    Typical use::
+
+        sim = Simulator()
+        done = sim.spawn(my_model(sim), name="model")
+        sim.run()
+        assert done.finished
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list = []
+        self._sequence = 0
+        self._running = False
+        self._spawned = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback, argument=None) -> None:
+        """Run ``callback(argument)`` after ``delay`` cycles (``>= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self.now + delay, self._sequence, callback, argument)
+        )
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def all_of(self, events: typing.Sequence[Event], name: str = "") -> AllOf:
+        """Event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events, name=name)
+
+    def any_of(self, events: typing.Sequence[Event], name: str = "") -> AnyOf:
+        """Event that fires when the first event in ``events`` fires."""
+        return AnyOf(self, events, name=name)
+
+    def spawn(self, generator: typing.Generator, name: str = "") -> Process:
+        """Start a new process running ``generator`` this cycle."""
+        self._spawned += 1
+        if not name:
+            name = f"process-{self._spawned}"
+        return Process(self, generator, name=name)
+
+    def timer(self, delay: int, name: str = "") -> Event:
+        """An event that triggers ``delay`` cycles from now."""
+        event = self.event(name=name or f"timer@{self.now + delay}")
+        self.schedule(delay, lambda _arg: event.trigger(self.now), None)
+        return event
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Pop and run one callback.  Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback, argument = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - guarded by schedule()
+            raise SimulationError("event queue produced a time in the past")
+        self.now = when
+        callback(argument)
+        return True
+
+    def run(self, until: typing.Optional[typing.Union[int, Event]] = None) -> int:
+        """Run the simulation and return the final cycle count.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                Run until the event queue drains.
+            ``int``
+                Run until simulated time reaches that cycle (events
+                scheduled exactly at ``until`` do run).
+            :class:`Event`
+                Run until the event triggers; raises
+                :class:`DeadlockError` if the queue drains first.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+                return self.now
+            if isinstance(until, int):
+                if until < self.now:
+                    raise SimulationError(
+                        f"cannot run until cycle {until}: already at {self.now}"
+                    )
+                while self._queue and self._queue[0][0] <= until:
+                    self.step()
+                self.now = max(self.now, until)
+                return self.now
+            if isinstance(until, Event):
+                while not until.triggered:
+                    if not self.step():
+                        raise DeadlockError(
+                            f"event queue drained at cycle {self.now} but "
+                            f"{until!r} never triggered"
+                        )
+                return self.now
+            raise SimulationError(f"invalid 'until' argument: {until!r}")
+        finally:
+            self._running = False
+
+    @property
+    def pending(self) -> int:
+        """Number of queued callbacks (a rough liveness indicator)."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self.now} pending={self.pending}>"

@@ -1,0 +1,101 @@
+"""Generator-coroutine processes scheduled by the simulation kernel."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.event import Event
+
+if typing.TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+
+#: Things a process body may ``yield``: a cycle delay, an event, or
+#: another process (join).  Combinators are events themselves.
+Waitable = typing.Union[int, Event, "Process"]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Wraps a generator whose ``yield`` statements suspend it:
+
+    - ``yield n`` (``int``): resume ``n`` cycles later (``n >= 0``).
+    - ``yield event``: resume when the event triggers; the ``yield``
+      expression evaluates to the event's value.
+    - ``yield process``: join — resume when the process finishes; the
+      ``yield`` expression evaluates to its return value.
+
+    A process is itself an :class:`Event` that triggers when the body
+    returns, carrying the body's return value, so joining and combinator
+    composition (``AllOf([p1, p2])``) come for free.
+
+    Use :meth:`Simulator.spawn` to create processes; do not instantiate
+    directly.
+    """
+
+    __slots__ = ("generator", "_failure")
+
+    def __init__(self, sim: "Simulator", generator: typing.Generator,
+                 name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=name)
+        self.generator = generator
+        self._failure: typing.Optional[BaseException] = None
+        # Kick off on the current cycle, through the queue for determinism.
+        sim.schedule(0, self._resume, None)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+    def _resume(self, event: typing.Optional[Event]) -> None:
+        """Advance the body one step, handing it the wake-up value."""
+        value = event.value if isinstance(event, Event) else None
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        except BaseException as exc:
+            # Record and re-raise through the kernel so a broken model
+            # never passes silently.
+            self._failure = exc
+            raise
+        self._wait_on(target)
+
+    def _wait_on(self, target: Waitable) -> None:
+        if isinstance(target, Event):
+            target.add_callback(self._resume)
+            return
+        if isinstance(target, int):
+            if target < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {target}"
+                )
+            self.sim.schedule(target, self._resume, None)
+            return
+        raise SimulationError(
+            f"process {self.name!r} yielded {target!r}; expected an int "
+            "delay, an Event, or a Process"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the body has returned."""
+        return self.triggered
+
+    @property
+    def failure(self) -> typing.Optional[BaseException]:
+        """The exception that killed the body, if any."""
+        return self._failure
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.triggered else "running"
+        label = self.name or hex(id(self))
+        return f"<Process {label} {state}>"

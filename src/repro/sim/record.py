@@ -1,0 +1,114 @@
+"""Structured trace recording for simulations.
+
+The offload runtimes annotate phase boundaries (descriptor written,
+dispatch done, cluster N woke, DMA-in done, compute done, completion
+signalled, host notified) so experiments can break a measured runtime
+down into the same components the paper discusses.  The recorder is a
+plain append-only log with query helpers; it never affects timing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace entry.
+
+    Attributes
+    ----------
+    cycle:
+        Simulation time at which the entry was recorded.
+    source:
+        Component that recorded it (e.g. ``"host"``, ``"cluster3.dm"``).
+    label:
+        Event kind (e.g. ``"dispatch_done"``).
+    data:
+        Optional payload (small dict or scalar), for debugging.
+    """
+
+    cycle: int
+    source: str
+    label: str
+    data: typing.Any = None
+
+
+class TraceRecorder:
+    """Append-only, queryable log of :class:`TraceRecord` entries."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = True) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.records: typing.List[TraceRecord] = []
+
+    def record(self, source: str, label: str, data: typing.Any = None) -> None:
+        """Append an entry stamped with the current cycle (if enabled)."""
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(self.sim.now, source, label, data))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(self, source: typing.Optional[str] = None,
+               label: typing.Optional[str] = None) -> typing.List[TraceRecord]:
+        """All records matching the given source and/or label."""
+        result = self.records
+        if source is not None:
+            result = [r for r in result if r.source == source]
+        if label is not None:
+            result = [r for r in result if r.label == label]
+        return list(result)
+
+    def first(self, label: str) -> typing.Optional[TraceRecord]:
+        """Earliest record with the given label, or None."""
+        for record in self.records:
+            if record.label == label:
+                return record
+        return None
+
+    def last(self, label: str) -> typing.Optional[TraceRecord]:
+        """Latest record with the given label, or None."""
+        for record in reversed(self.records):
+            if record.label == label:
+                return record
+        return None
+
+    def cycle_of(self, label: str) -> int:
+        """Cycle of the first record with the label.
+
+        Raises
+        ------
+        KeyError
+            If no record carries the label.
+        """
+        record = self.first(label)
+        if record is None:
+            raise KeyError(f"no trace record labelled {label!r}")
+        return record.cycle
+
+    def span(self, start_label: str, end_label: str) -> int:
+        """Cycles elapsed between the first records of the two labels."""
+        return self.cycle_of(end_label) - self.cycle_of(start_label)
+
+    def labels(self) -> typing.List[str]:
+        """Distinct labels in first-appearance order."""
+        seen: typing.Dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.label, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> typing.Iterator[TraceRecord]:
+        return iter(self.records)

@@ -1,0 +1,132 @@
+"""FIFO-served shared resources: the bus/port/channel timing model.
+
+Nearly every contended piece of hardware in the SoC — the host's NoC
+request port, the shared-memory read and write channels, the L2 atomics
+port — serializes requests in arrival order, each occupying the resource
+for a known number of cycles.  :class:`SerialResource` models exactly
+that with O(1) bookkeeping: it tracks when the resource next becomes
+free and hands each request a completion event.
+
+:class:`ThroughputChannel` specializes it for byte streams with a fixed
+width (bytes per cycle), which is how the paper's N/4 memory term arises
+(16·N bytes of DAXPY operands over a 64 B/cycle channel).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.event import Event
+
+if typing.TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+
+
+class SerialResource:
+    """A resource that serves one request at a time, FIFO.
+
+    A request for ``cycles`` of service issued at time ``t`` completes at
+    ``max(t, next_free) + cycles`` and pushes ``next_free`` to that time.
+    This is the standard "single server, deterministic service time"
+    queue and matches an in-order bus or memory port.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Label used in traces and error messages.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "resource") -> None:
+        self.sim = sim
+        self.name = name
+        self._next_free = 0
+        self._busy_cycles = 0
+        self._requests = 0
+
+    def request(self, cycles: int) -> Event:
+        """Enqueue a request; returns an event triggered at completion.
+
+        The event's value is the completion cycle.
+        """
+        if cycles < 0:
+            raise SimulationError(
+                f"{self.name}: negative service time {cycles}"
+            )
+        start = max(self.sim.now, self._next_free)
+        finish = start + cycles
+        self._next_free = finish
+        self._busy_cycles += cycles
+        self._requests += 1
+        done = self.sim.event(name=f"{self.name}-done@{finish}")
+        self.sim.schedule(finish - self.sim.now, lambda _arg: done.trigger(finish), None)
+        return done
+
+    def acquire(self, cycles: int) -> typing.Generator:
+        """Process-style helper: ``yield from resource.acquire(n)``."""
+        finish = yield self.request(cycles)
+        return finish
+
+    @property
+    def next_free(self) -> int:
+        """Earliest cycle at which a new request could start service."""
+        return max(self.sim.now, self._next_free)
+
+    @property
+    def busy_cycles(self) -> int:
+        """Total cycles of service granted so far (utilization numerator)."""
+        return self._busy_cycles
+
+    @property
+    def requests(self) -> int:
+        """Number of requests served or in flight."""
+        return self._requests
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the resource has been busy."""
+        if self.sim.now == 0:
+            return 0.0
+        return min(1.0, self._busy_cycles / self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SerialResource {self.name} next_free={self._next_free} "
+            f"requests={self._requests}>"
+        )
+
+
+class ThroughputChannel(SerialResource):
+    """A byte-stream channel with a fixed width in bytes per cycle.
+
+    A transfer of ``nbytes`` occupies the channel for
+    ``ceil(nbytes / width)`` cycles.  Used for the shared-memory read and
+    write channels that all cluster DMA engines contend on.
+    """
+
+    def __init__(self, sim: "Simulator", width_bytes: int,
+                 name: str = "channel") -> None:
+        if width_bytes <= 0:
+            raise SimulationError(
+                f"{name}: channel width must be positive, got {width_bytes}"
+            )
+        super().__init__(sim, name=name)
+        self.width_bytes = width_bytes
+        self._bytes_moved = 0
+
+    def cycles_for(self, nbytes: int) -> int:
+        """Service time for an ``nbytes`` transfer (ceil division)."""
+        if nbytes < 0:
+            raise SimulationError(f"{self.name}: negative transfer size {nbytes}")
+        return -(-nbytes // self.width_bytes)
+
+    def transfer(self, nbytes: int) -> Event:
+        """Enqueue an ``nbytes`` transfer; event fires at completion."""
+        self._bytes_moved += nbytes
+        return self.request(self.cycles_for(nbytes))
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes accepted by the channel so far."""
+        return self._bytes_moved

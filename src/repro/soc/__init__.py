@@ -1,0 +1,9 @@
+"""SoC top level: configuration, the credit-counter sync unit, and the
+Manticore-class system builder that wires host, clusters, memory and
+interconnect together."""
+
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+from repro.soc.syncunit import SyncUnit
+
+__all__ = ["ManticoreSystem", "SoCConfig", "SyncUnit"]

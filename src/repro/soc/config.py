@@ -1,0 +1,205 @@
+"""SoC configuration: every microarchitectural knob in one place.
+
+The defaults are calibrated so the simulated system's *emergent*
+behaviour reproduces the paper's published constants (Eq. 1's offload
+overhead near 367 cycles for the extended design, DAXPY's 2.6
+cycles/element/core rate, the 64 B/cycle shared memory channel behind
+the N/4 term) — see ``tests/integration/test_calibration.py``, which
+pins these emergent values.
+
+Two boolean *features* select the paper's hardware variants:
+
+``multicast``
+    The host LSU + interconnect replicate one dispatch store to all
+    selected clusters (Fig. 1's "w/ extensions" dispatch).
+``hw_sync``
+    Clusters signal completion to the credit-counter sync unit, which
+    interrupts the host, instead of AMO-and-poll.
+
+``SoCConfig.baseline()`` and ``SoCConfig.extended()`` are the two
+configurations Fig. 1 compares.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+from repro.noc.xbar import NocParams
+
+
+@dataclasses.dataclass(frozen=True)
+class SoCConfig:
+    """Complete parameterization of a Manticore-class MPSoC."""
+
+    # ------------------------------------------------------------------
+    # System shape
+    # ------------------------------------------------------------------
+    #: Number of compute clusters in the accelerator fabric (the paper
+    #: evaluates up to 32 clusters = 288 cores incl. DM cores).
+    num_clusters: int = 32
+    #: Worker cores per cluster (plus one DM core = the paper's 9).
+    cores_per_cluster: int = 8
+    #: Per-cluster scratchpad capacity.
+    tcdm_bytes: int = 128 * 1024
+    #: TCDM SRAM banks per cluster.
+    tcdm_banks: int = 32
+    #: Shared main-memory capacity.
+    main_memory_bytes: int = 32 * 1024 * 1024
+
+    # ------------------------------------------------------------------
+    # Features (the paper's extensions)
+    # ------------------------------------------------------------------
+    #: Multicast dispatch in the host LSU + interconnect.
+    multicast: bool = False
+    #: Credit-counter synchronization unit + completion interrupt.
+    hw_sync: bool = False
+
+    # ------------------------------------------------------------------
+    # Shared memory data channels
+    # ------------------------------------------------------------------
+    #: Read-channel width in bytes/cycle (64 → DAXPY's N/4 inbound term).
+    mem_read_width_bytes: int = 64
+    #: Write-channel width in bytes/cycle.
+    mem_write_width_bytes: int = 64
+
+    # ------------------------------------------------------------------
+    # Control interconnect
+    # ------------------------------------------------------------------
+    noc_request_latency: int = 8
+    noc_response_latency: int = 8
+    #: Host-port occupancy per store: the per-cluster dispatch cost in
+    #: the baseline's sequential doorbell loop.
+    noc_store_occupancy: int = 8
+    noc_load_occupancy: int = 2
+    noc_cluster_port_occupancy: int = 1
+    noc_multicast_tree_latency: int = 3
+    noc_amo_service_cycles: int = 2
+
+    # ------------------------------------------------------------------
+    # Host core
+    # ------------------------------------------------------------------
+    #: Runtime-entry bookkeeping before the first descriptor store.
+    host_setup_cycles: int = 58
+    #: Address computation per doorbell iteration (baseline loop body).
+    host_addr_calc_cycles: int = 2
+    #: Compare-and-branch work between completion-flag polls.
+    host_poll_gap_cycles: int = 4
+    #: Pipeline restart after WFI.
+    host_wfi_wake_latency: int = 8
+
+    # ------------------------------------------------------------------
+    # Credit-counter sync unit
+    # ------------------------------------------------------------------
+    #: Threshold-match to interrupt-wire assertion.
+    syncunit_irq_latency: int = 4
+
+    # ------------------------------------------------------------------
+    # Fabric start barrier (multi-cluster job synchronization)
+    # ------------------------------------------------------------------
+    #: DM-core arrival to the central barrier counter.
+    fabric_barrier_arrival_latency: int = 8
+    #: Release wave from the counter back to the clusters.
+    fabric_barrier_release_latency: int = 8
+
+    # ------------------------------------------------------------------
+    # Cluster
+    # ------------------------------------------------------------------
+    cluster_wake_latency: int = 10
+    dm_decode_cycles: int = 20
+    dma_setup_cycles: int = 16
+    barrier_latency: int = 2
+    worker_wake_latency: int = 2
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def baseline(cls, num_clusters: int = 32, **overrides) -> "SoCConfig":
+        """The unextended design: sequential dispatch, AMO-and-poll."""
+        return cls(num_clusters=num_clusters, multicast=False, hw_sync=False,
+                   **overrides)
+
+    @classmethod
+    def extended(cls, num_clusters: int = 32, **overrides) -> "SoCConfig":
+        """The paper's design: multicast dispatch + sync-unit interrupt."""
+        return cls(num_clusters=num_clusters, multicast=True, hw_sync=True,
+                   **overrides)
+
+    def with_features(self, multicast: bool, hw_sync: bool) -> "SoCConfig":
+        """Copy of this config with the feature pair replaced (ablation)."""
+        return dataclasses.replace(self, multicast=multicast, hw_sync=hw_sync)
+
+    # ------------------------------------------------------------------
+    # Validation & derived values
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        positive = {
+            "num_clusters": self.num_clusters,
+            "cores_per_cluster": self.cores_per_cluster,
+            "tcdm_bytes": self.tcdm_bytes,
+            "tcdm_banks": self.tcdm_banks,
+            "main_memory_bytes": self.main_memory_bytes,
+            "mem_read_width_bytes": self.mem_read_width_bytes,
+            "mem_write_width_bytes": self.mem_write_width_bytes,
+            "noc_store_occupancy": self.noc_store_occupancy,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise ConfigError(f"SoCConfig.{name} must be positive, got {value}")
+        non_negative = {
+            "noc_request_latency": self.noc_request_latency,
+            "noc_response_latency": self.noc_response_latency,
+            "noc_load_occupancy": self.noc_load_occupancy,
+            "noc_cluster_port_occupancy": self.noc_cluster_port_occupancy,
+            "noc_multicast_tree_latency": self.noc_multicast_tree_latency,
+            "noc_amo_service_cycles": self.noc_amo_service_cycles,
+            "host_setup_cycles": self.host_setup_cycles,
+            "host_addr_calc_cycles": self.host_addr_calc_cycles,
+            "host_poll_gap_cycles": self.host_poll_gap_cycles,
+            "host_wfi_wake_latency": self.host_wfi_wake_latency,
+            "syncunit_irq_latency": self.syncunit_irq_latency,
+            "fabric_barrier_arrival_latency": self.fabric_barrier_arrival_latency,
+            "fabric_barrier_release_latency": self.fabric_barrier_release_latency,
+            "cluster_wake_latency": self.cluster_wake_latency,
+            "dm_decode_cycles": self.dm_decode_cycles,
+            "dma_setup_cycles": self.dma_setup_cycles,
+            "barrier_latency": self.barrier_latency,
+            "worker_wake_latency": self.worker_wake_latency,
+        }
+        for name, value in non_negative.items():
+            if value < 0:
+                raise ConfigError(f"SoCConfig.{name} must be >= 0, got {value}")
+        if self.num_clusters > 1024:
+            raise ConfigError(
+                f"num_clusters={self.num_clusters} exceeds the modeled "
+                "fabric limit (1024)")
+
+    @property
+    def total_cores(self) -> int:
+        """All cores in the fabric, DM cores included (paper: 9/cluster)."""
+        return self.num_clusters * (self.cores_per_cluster + 1)
+
+    def noc_params(self) -> NocParams:
+        """The interconnect's view of this configuration."""
+        return NocParams(
+            request_latency=self.noc_request_latency,
+            response_latency=self.noc_response_latency,
+            store_occupancy=self.noc_store_occupancy,
+            load_occupancy=self.noc_load_occupancy,
+            cluster_port_occupancy=self.noc_cluster_port_occupancy,
+            multicast_enabled=self.multicast,
+            multicast_tree_latency=self.noc_multicast_tree_latency,
+            amo_service_cycles=self.noc_amo_service_cycles,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        features = []
+        if self.multicast:
+            features.append("multicast")
+        if self.hw_sync:
+            features.append("hw-sync")
+        suffix = "+".join(features) if features else "baseline"
+        return (f"{self.num_clusters} clusters x "
+                f"{self.cores_per_cluster}+1 cores, {suffix}")

@@ -1,0 +1,167 @@
+"""The Manticore-class MPSoC: construction and wiring.
+
+``ManticoreSystem`` instantiates and connects every block from a
+:class:`~repro.soc.config.SoCConfig`: the simulation kernel, shared main
+memory and its two data channels, the control interconnect, the CVA6-
+class host (LSU + interrupt controller), the credit-counter sync unit,
+and one :class:`~repro.cluster.Cluster` per fabric slot (each with its
+TCDM, DMA engine, mailbox, barrier and worker cores).  Cluster DM cores
+start serving their mailboxes immediately.
+
+System address map::
+
+    0x0200_0000  sync unit registers
+    0x0400_0000  cluster peripherals, one 64 KiB block per cluster
+                 (mailbox at offset 0)
+    0x1000_0000  cluster TCDMs, one 1 MiB-aligned block per cluster
+    0x8000_0000  shared main memory
+
+A system instance is cheap to build, and measurements construct a fresh
+one per data point so no state leaks between experiments.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.mailbox import JOB_PTR_OFFSET, Mailbox
+from repro.host.cva6 import HostCore
+from repro.host.irq import InterruptController
+from repro.host.lsu import LoadStoreUnit
+from repro.mem.map import AddressMap, Region
+from repro.mem.memory import MainMemory
+from repro.mem.tcdm import Tcdm
+from repro.noc.multicast import multicast_targets
+from repro.noc.xbar import Interconnect
+from repro.sim import Simulator, ThroughputChannel, TraceRecorder
+from repro.soc.config import SoCConfig
+from repro.soc.fabricbarrier import FabricBarrier
+from repro.soc import syncunit as syncunit_regs
+from repro.soc.syncunit import SyncUnit
+
+SYNCUNIT_BASE = 0x0200_0000
+SYNCUNIT_SIZE = 0x1000
+CLUSTER_PERIPH_BASE = 0x0400_0000
+CLUSTER_PERIPH_STRIDE = 0x0001_0000
+CLUSTER_PERIPH_SIZE = 0x1000
+TCDM_BASE = 0x1000_0000
+TCDM_STRIDE = 0x0010_0000
+DRAM_BASE = 0x8000_0000
+
+
+class ManticoreSystem:
+    """A fully-wired MPSoC instance ready to run offloads."""
+
+    def __init__(self, config: typing.Optional[SoCConfig] = None,
+                 record_trace: bool = True) -> None:
+        self.config = config or SoCConfig()
+        self.sim = Simulator()
+        self.trace = TraceRecorder(self.sim, enabled=record_trace)
+
+        # --- Memory -------------------------------------------------------
+        self.memory = MainMemory(
+            size_bytes=self.config.main_memory_bytes, base=DRAM_BASE)
+        self.address_map = AddressMap()
+        self.address_map.add(Region(
+            "dram", self.memory.base, self.memory.size_bytes, self.memory))
+        self.read_channel = ThroughputChannel(
+            self.sim, self.config.mem_read_width_bytes, name="mem.read")
+        self.write_channel = ThroughputChannel(
+            self.sim, self.config.mem_write_width_bytes, name="mem.write")
+
+        # --- Host complex --------------------------------------------------
+        self.irq = InterruptController(
+            self.sim, wake_latency=self.config.host_wfi_wake_latency)
+        self.syncunit = SyncUnit(
+            self.sim, self.irq, irq_latency=self.config.syncunit_irq_latency)
+        self.address_map.add_device(
+            "syncunit", SYNCUNIT_BASE, SYNCUNIT_SIZE, self.syncunit)
+
+        self.noc = Interconnect(
+            self.sim, self.address_map, self.config.noc_params(),
+            num_clusters=self.config.num_clusters)
+        self.host = HostCore(
+            self.sim,
+            LoadStoreUnit(self.noc, multicast_capable=self.config.multicast),
+            self.irq, trace=self.trace)
+
+        # --- Accelerator fabric ----------------------------------------------
+        self.fabric_barrier = FabricBarrier(
+            self.sim,
+            arrival_latency=self.config.fabric_barrier_arrival_latency,
+            release_latency=self.config.fabric_barrier_release_latency)
+        self.clusters: typing.List[Cluster] = []
+        for cluster_id in range(self.config.num_clusters):
+            mailbox = Mailbox(self.sim, cluster_id)
+            self.address_map.add_device(
+                f"cluster{cluster_id}.periph",
+                CLUSTER_PERIPH_BASE + cluster_id * CLUSTER_PERIPH_STRIDE,
+                CLUSTER_PERIPH_SIZE, mailbox)
+            tcdm = Tcdm(
+                size_bytes=self.config.tcdm_bytes,
+                base=TCDM_BASE + cluster_id * TCDM_STRIDE,
+                num_banks=self.config.tcdm_banks)
+            self.address_map.add(Region(
+                f"cluster{cluster_id}.tcdm", tcdm.base, tcdm.size_bytes, tcdm))
+            cluster = Cluster(
+                self.sim, cluster_id, self.noc, self.memory, tcdm, mailbox,
+                self.read_channel, self.write_channel,
+                fabric_barrier=self.fabric_barrier,
+                num_workers=self.config.cores_per_cluster,
+                wake_latency=self.config.cluster_wake_latency,
+                dm_decode_cycles=self.config.dm_decode_cycles,
+                dma_setup_cycles=self.config.dma_setup_cycles,
+                barrier_latency=self.config.barrier_latency,
+                worker_wake_latency=self.config.worker_wake_latency,
+                trace=self.trace)
+            cluster.start()
+            self.clusters.append(cluster)
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def mailbox_addr(self, cluster_id: int) -> int:
+        """Doorbell (JOB_PTR) register address of one cluster."""
+        if not 0 <= cluster_id < self.config.num_clusters:
+            raise IndexError(
+                f"cluster id {cluster_id} out of range "
+                f"[0, {self.config.num_clusters})")
+        return (CLUSTER_PERIPH_BASE + cluster_id * CLUSTER_PERIPH_STRIDE
+                + JOB_PTR_OFFSET)
+
+    def mailbox_addrs(self, num_clusters: int,
+                      first_cluster: int = 0) -> typing.Tuple[int, ...]:
+        """Doorbell addresses of the cluster range (multicast target set)."""
+        if first_cluster < 0 or num_clusters <= 0 \
+                or first_cluster + num_clusters > self.config.num_clusters:
+            raise IndexError(
+                f"cannot target clusters [{first_cluster}, "
+                f"{first_cluster + num_clusters}) on a "
+                f"{self.config.num_clusters}-cluster fabric")
+        return multicast_targets(
+            base=CLUSTER_PERIPH_BASE + first_cluster * CLUSTER_PERIPH_STRIDE,
+            stride=CLUSTER_PERIPH_STRIDE,
+            count=num_clusters, offset=JOB_PTR_OFFSET)
+
+    @property
+    def syncunit_threshold_addr(self) -> int:
+        return SYNCUNIT_BASE + syncunit_regs.THRESHOLD_OFFSET
+
+    @property
+    def syncunit_increment_addr(self) -> int:
+        return SYNCUNIT_BASE + syncunit_regs.INCREMENT_OFFSET
+
+    @property
+    def syncunit_count_addr(self) -> int:
+        return SYNCUNIT_BASE + syncunit_regs.COUNT_OFFSET
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def run(self, until=None) -> int:
+        """Run the simulation (see :meth:`repro.sim.Simulator.run`)."""
+        return self.sim.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ManticoreSystem {self.config.describe()}>"

@@ -1,0 +1,106 @@
+"""The credit-counter synchronization unit — the paper's dedicated block.
+
+Quoting the paper's design: the host "sets the number of accelerator
+clusters selected for offload as a threshold for the counter.  When a
+cluster is done with the job, it atomically increments the counter by
+writing to a register which triggers the increment as a side effect.
+As soon as the counter reaches the threshold value set by CVA6, it
+automatically fires an interrupt notifying CVA6 of job completion."
+
+Register map (word offsets from the unit's base address):
+
+====== =========== ====================================================
+offset register    behaviour
+====== =========== ====================================================
+0x00   THRESHOLD   read/write; writing re-arms the unit and clears the
+                   counter for the next offload
+0x08   COUNT       read-only credit counter
+0x10   INCREMENT   write-to-increment (+1 per store, data ignored)
+0x18   CLEAR       write: zero the counter and disarm
+0x20   FIRED       read-only count of interrupts fired (statistics)
+====== =========== ====================================================
+
+The completion interrupt is delivered to the host's interrupt
+controller ``irq_latency`` cycles after the threshold-matching
+increment arrives.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.host.irq import InterruptController
+from repro.mem.map import MmioDevice
+from repro.sim import Simulator
+
+THRESHOLD_OFFSET = 0x00
+COUNT_OFFSET = 0x08
+INCREMENT_OFFSET = 0x10
+CLEAR_OFFSET = 0x18
+FIRED_OFFSET = 0x20
+
+#: Name of the interrupt line the unit drives.
+IRQ_LINE = "syncunit"
+
+
+class SyncUnit(MmioDevice):
+    """Centralized credit counter with threshold interrupt."""
+
+    def __init__(self, sim: Simulator, irq: InterruptController,
+                 irq_latency: int = 4) -> None:
+        if irq_latency < 0:
+            raise ConfigError(f"negative sync-unit IRQ latency {irq_latency}")
+        self.sim = sim
+        self.irq = irq
+        self.irq_latency = irq_latency
+        self.threshold = 0
+        self.count = 0
+        self.interrupts_fired = 0
+        self._armed = False
+        irq.register_line(IRQ_LINE)
+
+    # ------------------------------------------------------------------
+    # MMIO interface
+    # ------------------------------------------------------------------
+    def read_register(self, offset: int) -> int:
+        if offset == THRESHOLD_OFFSET:
+            return self.threshold
+        if offset == COUNT_OFFSET:
+            return self.count
+        if offset == FIRED_OFFSET:
+            return self.interrupts_fired
+        return super().read_register(offset)
+
+    def write_register(self, offset: int, value: int) -> None:
+        if offset == THRESHOLD_OFFSET:
+            if value <= 0:
+                raise ConfigError(
+                    f"sync-unit threshold must be positive, got {value}")
+            self.threshold = value
+            self.count = 0
+            self._armed = True
+            return
+        if offset == INCREMENT_OFFSET:
+            self._increment()
+            return
+        if offset == CLEAR_OFFSET:
+            self.count = 0
+            self._armed = False
+            return
+        super().write_register(offset, value)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _increment(self) -> None:
+        self.count += 1
+        if self._armed and self.count >= self.threshold:
+            self._armed = False
+            self.interrupts_fired += 1
+            self.sim.schedule(
+                self.irq_latency,
+                lambda _arg: self.irq.raise_line(IRQ_LINE))
+
+    @property
+    def armed(self) -> bool:
+        """Whether a threshold is set and the interrupt has not fired yet."""
+        return self._armed

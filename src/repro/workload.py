@@ -1,0 +1,230 @@
+"""Workload-level execution: job streams and placement policies.
+
+The paper's introduction motivates offload-overhead reduction with
+applications that issue many small, heterogeneous data-parallel jobs.
+This module provides that workload layer:
+
+- :class:`JobSpec` / :func:`generate_workload` — reproducible streams
+  of kernel invocations with configurable size distributions;
+- placement *policies* — always-host, always-offload at fixed M, and
+  the paper's contribution applied at stream scale: a **model-driven
+  adaptive** policy that characterizes the platform once (fits the
+  Eq.-1 family per kernel plus a host model from measurements) and then
+  decides per job whether and how wide to offload;
+- :func:`run_workload` — execute a stream on one simulated system and
+  account makespan and per-job placements.
+
+``repro.experiments.scheduler_experiment`` compares the policies; the
+adaptive one wins because it sends fine-grained jobs to the host (the
+offload floor would dominate) and wide jobs to the fabric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro.core.decision import HostExecutionModel
+from repro.core.model import OffloadModel
+from repro.core.offload import offload, run_on_host
+from repro.core.sweep import sweep
+from repro.errors import OffloadError
+from repro.kernels.registry import get_kernel
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One job in a workload stream."""
+
+    kernel_name: str
+    n: int
+    scalars: typing.Mapping[str, float] = dataclasses.field(
+        default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        kernel = get_kernel(self.kernel_name)
+        scalars = dict(self.scalars) or {
+            name: 1.0 for name in kernel.scalar_names}
+        object.__setattr__(self, "scalars", scalars)
+        kernel.validate(self.n, scalars)
+
+
+def generate_workload(num_jobs: int,
+                      kernels: typing.Sequence[str] = ("daxpy", "memcpy",
+                                                       "scale", "dot"),
+                      min_n: int = 16, max_n: int = 4096,
+                      seed: int = 0) -> typing.List[JobSpec]:
+    """A reproducible stream of jobs with log-uniform sizes.
+
+    Log-uniform sizes mirror real fine-grained workloads: most jobs are
+    small (where offload overhead hurts) with a heavy tail of large
+    ones (where the accelerator shines).
+    """
+    if num_jobs <= 0:
+        raise OffloadError(f"workload needs at least one job, got {num_jobs}")
+    if not 0 < min_n <= max_n:
+        raise OffloadError(f"invalid size range [{min_n}, {max_n}]")
+    rng = numpy.random.default_rng(seed)
+    jobs = []
+    for index in range(num_jobs):
+        kernel = str(rng.choice(list(kernels)))
+        n = int(numpy.exp(rng.uniform(numpy.log(min_n), numpy.log(max_n))))
+        n = max(min_n, min(max_n, n))
+        jobs.append(JobSpec(kernel_name=kernel, n=n, seed=seed + index))
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Placement policies
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """Where one job should run: the host, or M clusters."""
+
+    offload: bool
+    num_clusters: int
+
+
+class Policy:
+    """Base class: maps a job to a :class:`Placement`."""
+
+    name = "policy"
+
+    def place(self, job: JobSpec, fabric_clusters: int) -> Placement:
+        raise NotImplementedError
+
+
+class AlwaysHost(Policy):
+    """Run everything on the host (the no-accelerator baseline)."""
+
+    name = "always_host"
+
+    def place(self, job: JobSpec, fabric_clusters: int) -> Placement:
+        return Placement(offload=False, num_clusters=0)
+
+
+class AlwaysOffload(Policy):
+    """Offload everything at a fixed width."""
+
+    name = "always_offload"
+
+    def __init__(self, num_clusters: int = 32) -> None:
+        self.num_clusters = num_clusters
+        self.name = f"always_offload_{num_clusters}"
+
+    def place(self, job: JobSpec, fabric_clusters: int) -> Placement:
+        return Placement(offload=True,
+                         num_clusters=min(self.num_clusters, fabric_clusters))
+
+
+class ModelDriven(Policy):
+    """The paper's decision model applied per job.
+
+    Holds a fitted :class:`OffloadModel` and a fitted
+    :class:`HostExecutionModel` per kernel (see
+    :func:`characterize_platform`) and picks the faster predicted
+    option, choosing the runtime-optimal M for offloads.
+    """
+
+    name = "model_driven"
+
+    def __init__(self, offload_models: typing.Mapping[str, OffloadModel],
+                 host_models: typing.Mapping[str, HostExecutionModel]) -> None:
+        self.offload_models = dict(offload_models)
+        self.host_models = dict(host_models)
+
+    def place(self, job: JobSpec, fabric_clusters: int) -> Placement:
+        try:
+            model = self.offload_models[job.kernel_name]
+            host = self.host_models[job.kernel_name]
+        except KeyError:
+            raise OffloadError(
+                f"platform was not characterized for kernel "
+                f"{job.kernel_name!r}") from None
+        best_m = model.best_m(job.n, fabric_clusters)
+        if model.predict(best_m, job.n) < host.predict(job.n):
+            return Placement(offload=True, num_clusters=best_m)
+        return Placement(offload=False, num_clusters=0)
+
+
+def characterize_platform(
+        config: SoCConfig,
+        kernels: typing.Sequence[str],
+        n_values: typing.Sequence[int] = (128, 256, 512, 1024),
+        m_values: typing.Sequence[int] = (1, 2, 4, 8, 16, 32),
+        ) -> ModelDriven:
+    """Fit offload and host models for each kernel (done once, offline)."""
+    m_values = [m for m in m_values if m <= config.num_clusters]
+    offload_models, host_models = {}, {}
+    for kernel in kernels:
+        grid = sweep(config, kernel, n_values, m_values, verify=False)
+        offload_models[kernel] = OffloadModel.fit(
+            grid.triples(), label=f"platform/{kernel}")
+        host_points = []
+        for n in n_values:
+            result = run_on_host(ManticoreSystem(config), kernel, n,
+                                 verify=False)
+            host_points.append((n, float(result.runtime_cycles)))
+        host_models[kernel] = HostExecutionModel.fit(host_points)
+    return ModelDriven(offload_models, host_models)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class JobOutcome:
+    """One executed job: its placement and measured cycles."""
+
+    spec: JobSpec
+    placement: Placement
+    cycles: int
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadResult:
+    """A workload stream executed under one policy."""
+
+    policy_name: str
+    outcomes: typing.Tuple[JobOutcome, ...]
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Total cycles to drain the stream (jobs run back to back)."""
+        return sum(outcome.cycles for outcome in self.outcomes)
+
+    @property
+    def offloaded_jobs(self) -> int:
+        return sum(1 for o in self.outcomes if o.placement.offload)
+
+    @property
+    def host_jobs(self) -> int:
+        return len(self.outcomes) - self.offloaded_jobs
+
+
+def run_workload(system: ManticoreSystem, jobs: typing.Sequence[JobSpec],
+                 policy: Policy, verify: bool = False) -> WorkloadResult:
+    """Execute a job stream under a placement policy on one system."""
+    if not jobs:
+        raise OffloadError("empty workload")
+    outcomes = []
+    for job in jobs:
+        placement = policy.place(job, system.config.num_clusters)
+        if placement.offload:
+            result = offload(system, job.kernel_name, job.n,
+                             placement.num_clusters, scalars=job.scalars,
+                             seed=job.seed, verify=verify)
+            cycles = result.runtime_cycles
+        else:
+            result = run_on_host(system, job.kernel_name, job.n,
+                                 scalars=job.scalars, seed=job.seed,
+                                 verify=verify)
+            cycles = result.runtime_cycles
+        outcomes.append(JobOutcome(spec=job, placement=placement,
+                                   cycles=cycles))
+    return WorkloadResult(policy_name=policy.name, outcomes=tuple(outcomes))

@@ -1,0 +1,123 @@
+"""Property-based tests for kernels, work splitting, and the ABI."""
+
+import numpy
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import abi
+from repro.kernels import get_kernel, kernel_names, split_range
+from repro.kernels.base import KernelTiming
+
+
+# ----------------------------------------------------------------------
+# split_range invariants
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=64))
+def test_split_range_partitions_exactly(n, parts):
+    slices = split_range(n, parts)
+    assert len(slices) == parts
+    assert slices[0].lo == 0
+    assert slices[-1].hi == n
+    for earlier, later in zip(slices, slices[1:]):
+        assert earlier.hi == later.lo
+    assert sum(s.elements for s in slices) == n
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=64))
+def test_split_range_is_balanced(n, parts):
+    sizes = [s.elements for s in split_range(n, parts)]
+    assert max(sizes) - min(sizes) <= 1
+    assert sizes == sorted(sizes, reverse=True)  # remainder goes first
+
+
+# ----------------------------------------------------------------------
+# Kernel timing invariants
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=0, max_value=10_000))
+def test_daxpy_timing_is_monotone(a, b):
+    timing = get_kernel("daxpy").timing
+    low, high = sorted([a, b])
+    assert timing.cycles(low) <= timing.cycles(high)
+
+
+@given(st.integers(min_value=0, max_value=100),
+       st.integers(min_value=1, max_value=20),
+       st.integers(min_value=1, max_value=20),
+       st.integers(min_value=1, max_value=5_000))
+def test_timing_bounds(setup, num, den, elements):
+    timing = KernelTiming(setup_cycles=setup, cpe_num=num, cpe_den=den)
+    cycles = timing.cycles(elements)
+    exact = setup + num * elements / den
+    assert exact <= cycles < exact + 1
+
+
+# ----------------------------------------------------------------------
+# Functional equivalence under arbitrary slicing
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=30)
+@given(st.sampled_from(sorted(kernel_names())),
+       st.integers(min_value=1, max_value=200),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_sliced_reference_is_slice_count_invariant_for_elementwise(
+        kernel_name, n, num_slices, seed):
+    """Element-wise kernels: the result must not depend on the split."""
+    kernel = get_kernel(kernel_name)
+    out_name = kernel.output_names[0]
+    if kernel.output_length(out_name, n, 1) \
+            != kernel.output_length(out_name, n, num_slices):
+        return  # reductions legitimately depend on the split shape
+    rng = numpy.random.default_rng(seed)
+    inputs = kernel.make_inputs(n, rng)
+    scalars = {name: 1.25 for name in kernel.scalar_names}
+    sliced = kernel.reference(n, scalars, inputs, num_slices)
+    whole = kernel.reference(n, scalars, inputs, 1)
+    for name in kernel.output_names:
+        numpy.testing.assert_allclose(sliced[name], whole[name], rtol=1e-12)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(min_value=1, max_value=500),
+       st.integers(min_value=1, max_value=32),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_reduction_partials_sum_to_total(n, num_slices, seed):
+    kernel = get_kernel("vecsum")
+    rng = numpy.random.default_rng(seed)
+    inputs = kernel.make_inputs(n, rng)
+    partials = kernel.reference(n, {}, inputs, num_slices)["partials"]
+    assert partials.shape == (num_slices,)
+    numpy.testing.assert_allclose(partials.sum(), inputs["x"].sum(),
+                                  rtol=1e-9, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# ABI roundtrip
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=50)
+@given(st.sampled_from(sorted(kernel_names())),
+       st.integers(min_value=1, max_value=1 << 40),
+       st.integers(min_value=1, max_value=1024),
+       st.sampled_from([abi.SYNC_MODE_AMO, abi.SYNC_MODE_SYNCUNIT]),
+       st.floats(allow_nan=False, allow_infinity=False, width=64),
+       st.integers(min_value=0, max_value=1 << 48))
+def test_descriptor_roundtrip_over_arbitrary_jobs(kernel_name, n, clusters,
+                                                  sync_mode, scalar, addr):
+    kernel = abi.get_kernel(kernel_name)
+    desc = abi.JobDescriptor(
+        kernel_name=kernel_name, n=n, num_clusters=clusters,
+        sync_mode=sync_mode, completion_addr=addr,
+        scalars={name: scalar for name in kernel.scalar_names},
+        input_addrs={name: addr + 8 * i
+                     for i, name in enumerate(kernel.input_names)},
+        output_addrs={name: addr + 800 + 8 * i
+                      for i, name in enumerate(kernel.output_names)})
+    words = abi.encode_descriptor(desc)
+    assert abi.decode_descriptor(words) == desc
+
+
+@given(st.floats(allow_nan=False, width=64))
+def test_float_bits_roundtrip_property(value):
+    assert abi.bits_to_float(abi.float_to_bits(value)) == value

@@ -1,0 +1,77 @@
+"""Property-based end-to-end tests: arbitrary jobs through the full SoC."""
+
+import numpy
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offload import offload
+from repro.mem import MainMemory
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(min_value=1, max_value=300),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_daxpy_correct_for_arbitrary_shapes(n, m, seed):
+    system = ManticoreSystem(SoCConfig.extended(num_clusters=8))
+    rng = numpy.random.default_rng(seed)
+    x = rng.normal(size=n)
+    y = rng.normal(size=n)
+    a = float(rng.normal())
+    result = offload(system, "daxpy", n, m, scalars={"a": a},
+                     inputs={"x": x, "y": y})
+    numpy.testing.assert_allclose(result.outputs["y"], a * x + y,
+                                  rtol=1e-10, atol=1e-12)
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(min_value=1, max_value=300),
+       st.integers(min_value=1, max_value=8),
+       st.sampled_from(["baseline", "multicast_only", "hw_sync_only",
+                        "extended"]))
+def test_all_variants_produce_identical_results(n, m, variant):
+    """Runtime variants change timing, never functional results."""
+    system = ManticoreSystem(SoCConfig.extended(num_clusters=8))
+    result = offload(system, "daxpy", n, m, variant=variant, seed=5)
+    reference = offload(
+        ManticoreSystem(SoCConfig.extended(num_clusters=8)),
+        "daxpy", n, m, variant="extended", seed=5)
+    numpy.testing.assert_array_equal(result.outputs["y"],
+                                     reference.outputs["y"])
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=8, max_value=512))
+def test_wider_offloads_never_slower_on_extended(m, n):
+    """On the extended design runtime is non-increasing in M (Fig. 1)."""
+    narrower = offload(ManticoreSystem(SoCConfig.extended(num_clusters=8)),
+                       "daxpy", n, m - 1, verify=False)
+    wider = offload(ManticoreSystem(SoCConfig.extended(num_clusters=8)),
+                    "daxpy", n, m, verify=False)
+    # Allow tiny ceil()-grade wobble on ragged splits.
+    assert wider.runtime_cycles <= narrower.runtime_cycles + 8
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(st.tuples(st.integers(min_value=8, max_value=4096),
+                          st.integers(min_value=1, max_value=512)),
+                min_size=1, max_size=20),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_memory_survives_arbitrary_alloc_write_read_sequences(blocks, seed):
+    memory = MainMemory(size_bytes=8 * 1024 * 1024, base=0x8000_0000)
+    rng = numpy.random.default_rng(seed)
+    written = []
+    for nbytes, align_hint in blocks:
+        align = 1 << (align_hint % 7)  # 1..64
+        align = max(align, 8)
+        addr = memory.alloc((nbytes + 7) // 8 * 8, align=align)
+        data = rng.integers(0, 256, size=(nbytes + 7) // 8 * 8,
+                            dtype=numpy.uint8)
+        memory.write_bytes(addr, data)
+        written.append((addr, data))
+    for addr, data in written:
+        numpy.testing.assert_array_equal(memory.read_bytes(addr, data.size),
+                                         data)

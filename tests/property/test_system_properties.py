@@ -1,0 +1,78 @@
+"""Property-based tests over the full system: traces, timing laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offload import offload, offload_daxpy
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+
+def ext_system():
+    return ManticoreSystem(SoCConfig.extended(num_clusters=8))
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(min_value=1, max_value=600),
+       st.integers(min_value=1, max_value=8))
+def test_trace_phase_invariants_hold_for_any_shape(n, m):
+    result = offload_daxpy(ext_system(), n=n, num_clusters=m, verify=False)
+    trace = result.trace
+    # Host milestones are ordered.
+    assert (trace.start_cycle <= trace.descriptor_written
+            <= trace.dispatch_start <= trace.dispatch_done
+            <= trace.end_cycle)
+    # Every dispatched cluster appears, with ordered phases.
+    assert len(trace.clusters) == m
+    for cluster in trace.clusters:
+        assert trace.dispatch_start <= cluster.doorbell
+        assert cluster.doorbell <= cluster.awake <= cluster.decoded
+        assert cluster.decoded <= cluster.completion_signalled
+        assert cluster.completion_signalled <= trace.end_cycle
+    # The summary is self-consistent.
+    summary = trace.phase_summary()
+    assert summary["total"] == (summary["setup"] + summary["dispatch"]
+                                + summary["completion_wait"])
+    assert summary["sync_overhead"] >= 0
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(min_value=8, max_value=1024),
+       st.integers(min_value=1, max_value=8),
+       st.sampled_from(["daxpy", "memcpy", "scale", "vecsum"]))
+def test_channel_traffic_matches_kernel_accounting(n, m, kernel_name):
+    from repro.kernels import get_kernel, split_range
+    system = ext_system()
+    offload(system, kernel_name, n, m, verify=False)
+    kernel = get_kernel(kernel_name)
+    slices = split_range(n, m)
+    expected_in = sum(kernel.slice_bytes_in(s.lo, s.hi, n) for s in slices)
+    expected_out = sum(kernel.slice_bytes_out(s.lo, s.hi, n) for s in slices)
+    assert system.read_channel.bytes_moved == expected_in
+    assert system.write_channel.bytes_moved == expected_out
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(min_value=32, max_value=512),
+       st.integers(min_value=2, max_value=8))
+def test_baseline_never_beats_extended(n, m):
+    base = offload_daxpy(
+        ManticoreSystem(SoCConfig.baseline(num_clusters=8)),
+        n=n, num_clusters=m, verify=False)
+    ext = offload_daxpy(ext_system(), n=n, num_clusters=m, verify=False)
+    assert ext.runtime_cycles <= base.runtime_cycles
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(min_value=1, max_value=300),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_offload_is_pure_in_its_inputs(n, m, seed):
+    """Running the same job twice on fresh systems gives identical
+    cycles and identical bits."""
+    import numpy
+    first = offload_daxpy(ext_system(), n=n, num_clusters=m, seed=seed)
+    second = offload_daxpy(ext_system(), n=n, num_clusters=m, seed=seed)
+    assert first.runtime_cycles == second.runtime_cycles
+    numpy.testing.assert_array_equal(first.outputs["y"],
+                                     second.outputs["y"])

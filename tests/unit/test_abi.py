@@ -1,0 +1,125 @@
+"""Unit tests for the job-descriptor ABI."""
+
+import pytest
+
+from repro import abi
+from repro.errors import OffloadError
+from repro.kernels.registry import kernel_names
+
+
+def make_descriptor(**overrides):
+    fields = dict(
+        kernel_name="daxpy", n=1024, num_clusters=8,
+        sync_mode=abi.SYNC_MODE_SYNCUNIT, completion_addr=0x0200_0010,
+        scalars={"a": 2.5},
+        input_addrs={"x": 0x8000_0000, "y": 0x8000_2000},
+        output_addrs={"y": 0x8000_2000})
+    fields.update(overrides)
+    return abi.JobDescriptor(**fields)
+
+
+def test_kernel_id_roundtrip_for_every_kernel():
+    for name in kernel_names():
+        assert abi.kernel_from_id(abi.kernel_id(name)).name == name
+
+
+def test_kernel_id_unknown_kernel():
+    with pytest.raises(OffloadError):
+        abi.kernel_id("warp_drive")
+
+
+def test_kernel_from_invalid_id():
+    with pytest.raises(OffloadError):
+        abi.kernel_from_id(-1)
+    with pytest.raises(OffloadError):
+        abi.kernel_from_id(10_000)
+
+
+def test_float_bits_roundtrip():
+    for value in [0.0, 1.0, -2.5, 3.141592653589793, 1e300, -1e-300]:
+        assert abi.bits_to_float(abi.float_to_bits(value)) == value
+
+
+def test_encode_decode_roundtrip():
+    desc = make_descriptor()
+    words = abi.encode_descriptor(desc)
+    assert len(words) == desc.words
+    decoded = abi.decode_descriptor(words)
+    assert decoded == desc
+
+
+def test_encode_decode_roundtrip_multi_scalar_kernel():
+    desc = make_descriptor(kernel_name="axpby",
+                           scalars={"a": 1.5, "b": -0.25})
+    assert abi.decode_descriptor(abi.encode_descriptor(desc)) == desc
+
+
+def test_decode_tolerates_trailing_padding():
+    desc = make_descriptor()
+    words = abi.encode_descriptor(desc) + [0, 0, 0]
+    assert abi.decode_descriptor(words) == desc
+
+
+def test_decode_truncated_header():
+    with pytest.raises(OffloadError):
+        abi.decode_descriptor([0, 1, 2])
+
+
+def test_decode_truncated_body():
+    words = abi.encode_descriptor(make_descriptor())
+    with pytest.raises(OffloadError):
+        abi.decode_descriptor(words[:-1])
+
+
+def test_decode_inconsistent_scalar_count():
+    words = abi.encode_descriptor(make_descriptor())
+    words[7] = 3  # daxpy has exactly one scalar
+    with pytest.raises(OffloadError):
+        abi.decode_descriptor(words)
+
+
+def test_descriptor_validation():
+    with pytest.raises(OffloadError):
+        make_descriptor(n=0)
+    with pytest.raises(OffloadError):
+        make_descriptor(num_clusters=0)
+    with pytest.raises(OffloadError):
+        make_descriptor(sync_mode=7)
+    with pytest.raises(OffloadError):
+        make_descriptor(scalars={})
+    with pytest.raises(OffloadError):
+        make_descriptor(scalars={"a": 1.0, "zz": 2.0})
+    with pytest.raises(OffloadError):
+        make_descriptor(input_addrs={"x": 0})
+    with pytest.raises(OffloadError):
+        make_descriptor(output_addrs={"nope": 0})
+
+
+def test_descriptor_words_matches_layout():
+    desc = make_descriptor()
+    # daxpy: 8 header + 1 scalar + 2 inputs + 1 output = 12
+    assert desc.words == 12
+    assert abi.descriptor_words(desc.kernel) == 12
+
+
+def test_sync_mode_constants_are_distinct():
+    assert abi.SYNC_MODE_AMO != abi.SYNC_MODE_SYNCUNIT
+
+
+def test_exec_mode_roundtrip_and_validation():
+    desc = make_descriptor(exec_mode=abi.EXEC_MODE_DOUBLE_BUFFERED)
+    assert abi.decode_descriptor(abi.encode_descriptor(desc)) == desc
+    with pytest.raises(OffloadError):
+        make_descriptor(exec_mode=9)
+
+
+def test_first_cluster_roundtrip_and_validation():
+    desc = make_descriptor(first_cluster=16)
+    decoded = abi.decode_descriptor(abi.encode_descriptor(desc))
+    assert decoded.first_cluster == 16
+    with pytest.raises(OffloadError):
+        make_descriptor(first_cluster=-1)
+
+
+def test_first_cluster_defaults_to_zero():
+    assert make_descriptor().first_cluster == 0

@@ -1,0 +1,104 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list_shows_every_experiment():
+    code, text = run_cli("list")
+    assert code == 0
+    for name in ("fig1-left", "fig1-right", "fit", "mape", "decision",
+                 "ablation-features", "ablation-dispatch", "kernels",
+                 "ablation-poll"):
+        assert name in text
+
+
+def test_offload_command_prints_result_and_phases():
+    code, text = run_cli("offload", "--kernel", "daxpy", "--n", "256",
+                         "--clusters", "4", "--fabric", "8")
+    assert code == 0
+    assert "daxpy(n=256) on 4 clusters" in text
+    assert "dispatch" in text and "total" in text
+
+
+def test_offload_command_baseline_variant():
+    code, text = run_cli("offload", "--kernel", "memcpy", "--n", "64",
+                         "--clusters", "2", "--fabric", "4",
+                         "--variant", "baseline")
+    assert code == 0
+    assert "[baseline]" in text
+
+
+def test_offload_command_rejects_bad_width():
+    code, text = run_cli("offload", "--n", "64", "--clusters", "8",
+                         "--fabric", "4")
+    assert code == 1
+    assert "error:" in text
+
+
+def test_fig1_left_small_fabric():
+    code, text = run_cli("fig1-left", "--clusters", "4")
+    assert code == 0
+    assert "Fig. 1 (left)" in text
+    assert "baseline" in text
+
+
+def test_mape_small_fabric():
+    code, text = run_cli("mape", "--clusters", "4")
+    assert code == 0
+    assert "MAPE" in text
+
+
+def test_sweep_to_stdout_is_csv():
+    code, text = run_cli("sweep", "--kernel", "daxpy", "--n", "64", "128",
+                         "--m", "1", "2", "--clusters", "4")
+    assert code == 0
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("kernel,n,num_clusters")
+    assert len(lines) == 5  # header + 2x2 grid
+
+
+def test_sweep_to_file(tmp_path):
+    target = tmp_path / "grid.csv"
+    code, text = run_cli("sweep", "--kernel", "memcpy", "--n", "64",
+                         "--m", "2", "--clusters", "4",
+                         "--csv", str(target))
+    assert code == 0
+    assert "1 points written" in text
+    assert target.read_text().startswith("kernel,")
+
+
+def test_sweep_rejects_overwide_grid():
+    code, text = run_cli("sweep", "--n", "64", "--m", "16",
+                         "--clusters", "4")
+    assert code == 1
+    assert "error:" in text
+
+
+def test_report_writes_all_sections(tmp_path):
+    target = tmp_path / "report.md"
+    code, text = run_cli("report", "--out", str(target), "--clusters", "4")
+    assert code == 0
+    content = target.read_text()
+    assert content.startswith("# Reproduction report")
+    for section in ("fig1-left", "mape", "scheduler", "concurrency"):
+        assert f"## {section}" in content
+
+
+def test_unknown_command_exits_nonzero():
+    with pytest.raises(SystemExit):
+        run_cli("frobnicate")
+
+
+def test_missing_command_exits_nonzero():
+    with pytest.raises(SystemExit):
+        run_cli()

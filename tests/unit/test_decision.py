@@ -1,0 +1,167 @@
+"""Unit tests for the offload decision solver (Eq. 3 and extensions)."""
+
+import math
+
+import pytest
+
+from repro.core.decision import (
+    EnergyModel,
+    HostExecutionModel,
+    OffloadDecision,
+    decide_offload,
+    min_clusters_for_deadline,
+)
+from repro.core.model import OffloadModel, PAPER_DAXPY_MODEL
+from repro.errors import DecisionError
+
+
+def paper_eq3(n, t_max):
+    """The paper's Eq. 3, verbatim."""
+    return math.ceil(2.6 * n / (8 * (t_max - 367 - n / 4)))
+
+
+@pytest.mark.parametrize("n,t_max", [
+    (1024, 700.0), (1024, 800.0), (1024, 1000.0),
+    (512, 550.0), (256, 450.0), (768, 650.0),
+])
+def test_matches_paper_eq3_closed_form(n, t_max):
+    got = min_clusters_for_deadline(PAPER_DAXPY_MODEL, n, t_max)
+    assert got == max(1, paper_eq3(n, t_max))
+
+
+def test_minimality_property():
+    model = PAPER_DAXPY_MODEL
+    for t_max in (650.0, 700.0, 900.0, 1100.0):
+        m_min = min_clusters_for_deadline(model, 1024, t_max)
+        assert model.predict(m_min, 1024) <= t_max
+        if m_min > 1:
+            assert model.predict(m_min - 1, 1024) > t_max
+
+
+def test_loose_deadline_needs_one_cluster():
+    assert min_clusters_for_deadline(PAPER_DAXPY_MODEL, 1024, 10_000.0) == 1
+
+
+def test_deadline_below_serial_floor_is_infeasible():
+    # Serial floor at N=1024 is 623 cycles; 600 can never be met.
+    with pytest.raises(DecisionError, match="serial floor"):
+        min_clusters_for_deadline(PAPER_DAXPY_MODEL, 1024, 600.0)
+
+
+def test_deadline_needing_more_than_fabric():
+    # Slightly above the floor: requires enormous M.
+    with pytest.raises(DecisionError, match="more than the fabric"):
+        min_clusters_for_deadline(PAPER_DAXPY_MODEL, 1024, 624.0,
+                                  max_clusters=32)
+
+
+def test_invalid_arguments():
+    with pytest.raises(DecisionError):
+        min_clusters_for_deadline(PAPER_DAXPY_MODEL, 1024, 700.0,
+                                  max_clusters=0)
+    with pytest.raises(DecisionError):
+        min_clusters_for_deadline(PAPER_DAXPY_MODEL, 1024, -5.0)
+
+
+def test_search_path_with_dispatch_term():
+    model = OffloadModel(t0=367, mem_coeff=0.25, compute_coeff=0.325,
+                         dispatch_coeff=11.0)
+    m_min = min_clusters_for_deadline(model, 1024, 800.0)
+    assert model.predict(m_min, 1024) <= 800.0
+    if m_min > 1:
+        assert model.predict(m_min - 1, 1024) > 800.0
+
+
+def test_search_path_infeasible_reports_best():
+    model = OffloadModel(t0=367, mem_coeff=0.25, compute_coeff=0.325,
+                         dispatch_coeff=11.0)
+    with pytest.raises(DecisionError, match="best achievable"):
+        min_clusters_for_deadline(model, 1024, 700.0)
+
+
+# ----------------------------------------------------------------------
+# Host-vs-accelerator decision
+# ----------------------------------------------------------------------
+def test_host_model_prediction():
+    host = HostExecutionModel(cycles_per_element=3.0, setup_cycles=10.0)
+    assert host.predict(100) == pytest.approx(310.0)
+    from repro.errors import ModelError
+    with pytest.raises(ModelError):
+        host.predict(-1)
+
+
+def test_small_jobs_stay_on_host():
+    decision = decide_offload(PAPER_DAXPY_MODEL, HostExecutionModel(), n=32)
+    assert not decision.offload
+    assert decision.num_clusters == 0
+    # Host: 10 + 96 = 106 cycles, far below the ~400-cycle offload floor.
+    assert decision.predicted_cycles == pytest.approx(106.0)
+
+
+def test_large_jobs_offload():
+    decision = decide_offload(PAPER_DAXPY_MODEL, HostExecutionModel(),
+                              n=4096)
+    assert decision.offload
+    assert decision.num_clusters >= 1
+    assert decision.speedup_vs_host > 1.0
+
+
+def test_runtime_objective_picks_global_minimum():
+    decision = decide_offload(PAPER_DAXPY_MODEL, HostExecutionModel(),
+                              n=4096, max_clusters=32)
+    # With no dispatch term the offload optimum is the full fabric.
+    assert decision.num_clusters == 32
+
+
+def test_deadline_filters_options():
+    # A deadline only wide offloads can meet.
+    decision = decide_offload(PAPER_DAXPY_MODEL, HostExecutionModel(),
+                              n=1024, t_max=700.0)
+    assert decision.offload
+    assert decision.num_clusters >= 6
+
+
+def test_impossible_deadline_raises():
+    with pytest.raises(DecisionError):
+        decide_offload(PAPER_DAXPY_MODEL, HostExecutionModel(), n=1024,
+                       t_max=100.0)
+
+
+def test_energy_objective_prefers_narrower_offload():
+    energy = EnergyModel(host_active_power=300.0, host_idle_power=30.0,
+                         cluster_power=25.0)
+    runtime_choice = decide_offload(
+        PAPER_DAXPY_MODEL, HostExecutionModel(), n=4096, max_clusters=32)
+    energy_choice = decide_offload(
+        PAPER_DAXPY_MODEL, HostExecutionModel(), n=4096, max_clusters=32,
+        energy_model=energy, objective="energy")
+    assert energy_choice.num_clusters <= runtime_choice.num_clusters
+    assert energy_choice.predicted_energy is not None
+
+
+def test_energy_objective_requires_model():
+    with pytest.raises(DecisionError):
+        decide_offload(PAPER_DAXPY_MODEL, HostExecutionModel(), n=64,
+                       objective="energy")
+
+
+def test_unknown_objective():
+    with pytest.raises(DecisionError):
+        decide_offload(PAPER_DAXPY_MODEL, HostExecutionModel(), n=64,
+                       objective="latency")
+
+
+def test_energy_accounting():
+    energy = EnergyModel(host_active_power=2.0, host_idle_power=1.0,
+                         cluster_power=0.5)
+    host = HostExecutionModel(cycles_per_element=1.0, setup_cycles=0.0)
+    assert energy.host_energy(host, 100) == pytest.approx(200.0)
+    model = OffloadModel(t0=0, mem_coeff=0, compute_coeff=1.0)
+    # t(2, 100) = 50; power = 1 + 2*0.5 = 2 -> 100.
+    assert energy.offload_energy(model, 2, 100) == pytest.approx(100.0)
+
+
+def test_decision_dataclass_speedup():
+    decision = OffloadDecision(offload=True, num_clusters=4,
+                               predicted_cycles=500.0, host_cycles=1000.0)
+    assert decision.speedup_vs_host == pytest.approx(2.0)

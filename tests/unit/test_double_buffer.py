@@ -1,0 +1,107 @@
+"""Unit tests for the double-buffered device execution protocol."""
+
+import numpy
+import pytest
+
+from repro.core.offload import offload, offload_daxpy
+from repro.errors import OffloadError
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+
+def ext_system(**overrides):
+    overrides.setdefault("num_clusters", 8)
+    return ManticoreSystem(SoCConfig.extended(**overrides))
+
+
+def test_functional_result_identical_to_phased():
+    rng = numpy.random.default_rng(9)
+    x, y = rng.normal(size=500), rng.normal(size=500)
+    phased = offload(ext_system(), "daxpy", 500, 4, scalars={"a": 2.5},
+                     inputs={"x": x, "y": y})
+    dbuf = offload(ext_system(), "daxpy", 500, 4, scalars={"a": 2.5},
+                   inputs={"x": x, "y": y}, exec_mode="double_buffered")
+    numpy.testing.assert_array_equal(phased.outputs["y"], dbuf.outputs["y"])
+    assert dbuf.verified is True
+
+
+@pytest.mark.parametrize("kernel", ["daxpy", "saxpy", "axpby", "memcpy",
+                                    "scale", "relu", "stencil3"])
+def test_elementwise_kernels_support_double_buffering(kernel):
+    result = offload(ext_system(), kernel, 400, 4,
+                     exec_mode="double_buffered")
+    assert result.verified is True
+
+
+@pytest.mark.parametrize("kernel", ["vecsum", "dot"])
+def test_reduction_kernels_reject_double_buffering(kernel):
+    with pytest.raises(OffloadError, match="element-wise"):
+        offload(ext_system(), kernel, 400, 4, exec_mode="double_buffered")
+
+
+def test_unknown_exec_mode_rejected():
+    with pytest.raises(OffloadError, match="exec mode"):
+        offload(ext_system(), "daxpy", 64, 2, exec_mode="warp")
+
+
+def test_overlap_beats_phased_on_memory_bound_shapes():
+    phased = offload_daxpy(ext_system(), n=8192, num_clusters=2,
+                           verify=False)
+    dbuf = offload_daxpy(ext_system(), n=8192, num_clusters=2,
+                         exec_mode="double_buffered", verify=False)
+    assert dbuf.runtime_cycles < 0.8 * phased.runtime_cycles
+
+
+def test_tiny_slices_fall_back_to_phased_timing():
+    """Below the chunking threshold both modes behave identically."""
+    phased = offload_daxpy(ext_system(), n=64, num_clusters=8, verify=False)
+    dbuf = offload_daxpy(ext_system(), n=64, num_clusters=8,
+                         exec_mode="double_buffered", verify=False)
+    assert dbuf.runtime_cycles == phased.runtime_cycles
+
+
+def test_unlocks_jobs_exceeding_tcdm():
+    """A 1-cluster DAXPY needing 2x the TCDM only runs double-buffered."""
+    system = ext_system(num_clusters=1)
+    with pytest.raises(OffloadError, match="TCDM"):
+        offload_daxpy(system, n=16384, num_clusters=1)
+    result = offload_daxpy(ext_system(num_clusters=1), n=16384,
+                           num_clusters=1, exec_mode="double_buffered")
+    assert result.verified is True
+
+
+def test_chunking_adapts_to_tiny_tcdm():
+    """The device runtime picks as many chunks as the TCDM demands."""
+    result = offload_daxpy(ext_system(num_clusters=1, tcdm_bytes=1024),
+                           n=16384, num_clusters=1,
+                           exec_mode="double_buffered")
+    assert result.verified is True
+
+
+def test_double_buffer_chunk_pair_capacity_check():
+    """A chunk with an irreducible floor (GEMV stages the whole x
+    vector per chunk) must still pair-fit the TCDM, or fail loudly."""
+    system = ext_system(num_clusters=1, tcdm_bytes=2048)
+    with pytest.raises(OffloadError, match="double-buffer"):
+        offload(system, "gemv", 256, 1, exec_mode="double_buffered")
+
+
+def test_channel_traffic_identical_across_modes():
+    """Overlap changes timing, never the bytes moved."""
+    sys_a, sys_b = ext_system(), ext_system()
+    offload_daxpy(sys_a, n=2048, num_clusters=4, verify=False)
+    offload_daxpy(sys_b, n=2048, num_clusters=4,
+                  exec_mode="double_buffered", verify=False)
+    assert sys_a.read_channel.bytes_moved == sys_b.read_channel.bytes_moved
+    assert sys_a.write_channel.bytes_moved == sys_b.write_channel.bytes_moved
+
+
+def test_sequential_double_buffered_offloads():
+    system = ext_system()
+    first = offload_daxpy(system, n=1024, num_clusters=4,
+                          exec_mode="double_buffered")
+    second = offload_daxpy(system, n=1024, num_clusters=4,
+                           exec_mode="double_buffered")
+    assert first.verified and second.verified
+    assert (second.end_cycle - second.start_cycle
+            == first.end_cycle - first.start_cycle)

@@ -1,0 +1,141 @@
+"""Unit tests for the fabric-level start barrier."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim import Simulator
+from repro.soc.fabricbarrier import FabricBarrier
+
+
+def test_release_after_last_arrival_plus_latencies():
+    sim = Simulator()
+    barrier = FabricBarrier(sim, arrival_latency=6, release_latency=6)
+    released = []
+
+    def cluster(delay):
+        yield delay
+        yield from barrier.arrive(3)
+        released.append(sim.now)
+
+    for delay in [0, 10, 40]:
+        sim.spawn(cluster(delay))
+    sim.run()
+    # Last arrival lands at 40 + 6; release wave +6 more.
+    assert released == [52, 52, 52]
+    assert barrier.generations == 1
+
+
+def test_single_party_barrier_costs_constant():
+    sim = Simulator()
+    barrier = FabricBarrier(sim, arrival_latency=6, release_latency=6)
+
+    def cluster():
+        yield from barrier.arrive(1)
+        return sim.now
+
+    proc = sim.spawn(cluster())
+    sim.run()
+    assert proc.value == 12
+
+
+def test_generations_are_sequential():
+    sim = Simulator()
+    barrier = FabricBarrier(sim, arrival_latency=0, release_latency=0)
+
+    def cluster():
+        for _round in range(2):
+            yield from barrier.arrive(2)
+            yield 1
+
+    sim.spawn(cluster())
+    sim.spawn(cluster())
+    sim.run()
+    assert barrier.generations == 2
+
+
+def test_mismatched_party_counts_rejected():
+    sim = Simulator()
+    barrier = FabricBarrier(sim, arrival_latency=0, release_latency=0)
+
+    def cluster(parties):
+        yield from barrier.arrive(parties)
+
+    sim.spawn(cluster(2))
+    sim.spawn(cluster(3))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_invalid_parameters():
+    sim = Simulator()
+    with pytest.raises(ConfigError):
+        FabricBarrier(sim, arrival_latency=-1)
+    barrier = FabricBarrier(sim)
+
+    def cluster():
+        yield from barrier.arrive(0)
+
+    sim.spawn(cluster())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_waiting_counter():
+    sim = Simulator()
+    barrier = FabricBarrier(sim, arrival_latency=0, release_latency=0)
+
+    def cluster():
+        yield from barrier.arrive(2)
+
+    sim.spawn(cluster())
+    sim.run()
+    assert barrier.waiting() == 1
+    assert barrier.waiting(group=5) == 0
+    assert barrier.open_groups == (0,)
+
+
+def test_groups_are_independent():
+    sim = Simulator()
+    barrier = FabricBarrier(sim, arrival_latency=0, release_latency=0)
+    released = []
+
+    def cluster(group, parties, delay, tag):
+        yield delay
+        yield from barrier.arrive(parties, group=group)
+        released.append((tag, sim.now))
+
+    # Group 0 (2 parties) completes at 10; group 16 (1 party) at 3.
+    sim.spawn(cluster(0, 2, 0, "a0"))
+    sim.spawn(cluster(0, 2, 10, "a1"))
+    sim.spawn(cluster(16, 1, 3, "b0"))
+    sim.run()
+    assert dict(released) == {"b0": 3, "a0": 10, "a1": 10}
+    assert barrier.generations == 2
+
+
+def test_concurrent_groups_with_different_party_counts():
+    sim = Simulator()
+    barrier = FabricBarrier(sim, arrival_latency=0, release_latency=0)
+
+    def cluster(group, parties):
+        yield from barrier.arrive(parties, group=group)
+
+    for _ in range(3):
+        sim.spawn(cluster(0, 3))
+    for _ in range(2):
+        sim.spawn(cluster(7, 2))
+    sim.run()
+    assert barrier.generations == 2
+    assert barrier.open_groups == ()
+
+
+def test_negative_group_rejected():
+    sim = Simulator()
+    barrier = FabricBarrier(sim, arrival_latency=0, release_latency=0)
+
+    def cluster():
+        yield from barrier.arrive(1, group=-1)
+
+    sim.spawn(cluster())
+    with pytest.raises(SimulationError):
+        sim.run()

@@ -1,0 +1,222 @@
+"""Unit tests for the host core, LSU, and interrupt controller."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.host import HostCore, InterruptController, LoadStoreUnit
+from repro.mem import AddressMap, MainMemory, Region
+from repro.noc import Interconnect, NocParams
+from repro.sim import Simulator
+
+
+BASE = 0x8000_0000
+
+PARAMS = NocParams(
+    request_latency=6, response_latency=6, store_occupancy=8,
+    load_occupancy=2, multicast_enabled=True, multicast_tree_latency=3,
+)
+
+
+def make_host(multicast=True, wake_latency=5):
+    sim = Simulator()
+    amap = AddressMap()
+    mem = MainMemory(size_bytes=4096, base=BASE)
+    amap.add(Region("dram", mem.base, mem.size_bytes, mem))
+    noc = Interconnect(sim, amap, PARAMS, num_clusters=2)
+    irq = InterruptController(sim, wake_latency=wake_latency)
+    irq.register_line("job_done")
+    host = HostCore(sim, LoadStoreUnit(noc, multicast_capable=multicast), irq)
+    return sim, mem, host, irq
+
+
+def run_program(sim, host, program):
+    proc = host.run_program(program)
+    sim.run()
+    return proc.value
+
+
+def test_execute_costs_cycles():
+    sim, _mem, host, _irq = make_host()
+
+    def program():
+        yield from host.execute(13)
+        return sim.now
+
+    assert run_program(sim, host, program()) == 13
+
+
+def test_execute_zero_cycles_is_free():
+    sim, _mem, host, _irq = make_host()
+
+    def program():
+        yield from host.execute(0)
+        return sim.now
+
+    assert run_program(sim, host, program()) == 0
+
+
+def test_nonposted_store_waits_for_ack():
+    sim, mem, host, _irq = make_host()
+
+    def program():
+        yield from host.store(BASE, 42)
+        return sim.now
+
+    cycles = run_program(sim, host, program())
+    assert cycles == (PARAMS.store_occupancy + PARAMS.request_latency
+                      + PARAMS.response_latency)
+    assert mem.read_word(BASE) == 42
+
+
+def test_posted_store_returns_after_port_occupancy():
+    sim, mem, host, _irq = make_host()
+
+    def program():
+        yield from host.store_posted(BASE, 42)
+        return sim.now
+
+    cycles = run_program(sim, host, program())
+    assert cycles == PARAMS.store_occupancy
+    assert mem.read_word(BASE) == 42  # still delivered eventually
+
+
+def test_posted_store_handle_exposes_delivery():
+    sim, _mem, host, _irq = make_host()
+    log = {}
+
+    def program():
+        handle = yield from host.store_posted(BASE, 1)
+        log["posted_at"] = sim.now
+        yield handle.delivered
+        log["delivered_at"] = sim.now
+
+    run_program(sim, host, program())
+    assert log["delivered_at"] - log["posted_at"] == PARAMS.request_latency
+
+
+def test_load_round_trip_returns_value():
+    sim, mem, host, _irq = make_host()
+    mem.write_word(BASE + 8, 321)
+
+    def program():
+        value = yield from host.load(BASE + 8)
+        return (value, sim.now)
+
+    value, cycles = run_program(sim, host, program())
+    assert value == 321
+    assert cycles == (PARAMS.load_occupancy + PARAMS.request_latency
+                      + PARAMS.response_latency)
+
+
+def test_multicast_store_on_capable_host():
+    sim, mem, host, _irq = make_host(multicast=True)
+
+    def program():
+        yield from host.multicast_store([BASE, BASE + 8], 7)
+        return sim.now
+
+    cycles = run_program(sim, host, program())
+    assert cycles == PARAMS.store_occupancy
+    sim2 = sim  # delivery already happened during run()
+    assert mem.read_word(BASE) == 7
+    assert mem.read_word(BASE + 8) == 7
+
+
+def test_multicast_store_rejected_on_baseline_host():
+    sim, _mem, host, _irq = make_host(multicast=False)
+
+    def program():
+        yield from host.multicast_store([BASE], 1)
+
+    host.run_program(program())
+    with pytest.raises(ConfigError):
+        sim.run()
+
+
+def test_lsu_capability_must_match_noc():
+    sim = Simulator()
+    amap = AddressMap()
+    noc = Interconnect(sim, amap, NocParams(multicast_enabled=False))
+    with pytest.raises(ConfigError):
+        LoadStoreUnit(noc, multicast_capable=True)
+
+
+def test_wfi_sleeps_until_interrupt():
+    sim, _mem, host, irq = make_host(wake_latency=5)
+    sim.schedule(100, lambda arg: irq.raise_line("job_done"))
+
+    def program():
+        yield from host.wfi("job_done")
+        return sim.now
+
+    assert run_program(sim, host, program()) == 105
+
+
+def test_wfi_falls_through_when_already_pending():
+    sim, _mem, host, irq = make_host(wake_latency=5)
+    irq.raise_line("job_done")
+
+    def program():
+        yield from host.wfi("job_done")
+        return sim.now
+
+    assert run_program(sim, host, program()) == 5
+
+
+def test_wfi_consumes_pending_bit():
+    sim, _mem, host, irq = make_host()
+    irq.raise_line("job_done")
+
+    def program():
+        yield from host.wfi("job_done")
+
+    run_program(sim, host, program())
+    assert not irq.is_pending("job_done")
+
+
+def test_irq_unknown_line_rejected():
+    sim = Simulator()
+    irq = InterruptController(sim)
+    with pytest.raises(SimulationError):
+        irq.raise_line("ghost")
+    with pytest.raises(SimulationError):
+        irq.is_pending("ghost")
+
+
+def test_irq_duplicate_line_rejected():
+    sim = Simulator()
+    irq = InterruptController(sim)
+    irq.register_line("x")
+    with pytest.raises(SimulationError):
+        irq.register_line("x")
+
+
+def test_irq_negative_wake_latency_rejected():
+    with pytest.raises(SimulationError):
+        InterruptController(Simulator(), wake_latency=-1)
+
+
+def test_irq_raise_count_and_clear():
+    sim = Simulator()
+    irq = InterruptController(sim)
+    irq.register_line("x")
+    irq.raise_line("x")
+    irq.raise_line("x")
+    assert irq.raise_count("x") == 2
+    irq.clear("x")
+    assert not irq.is_pending("x")
+
+
+def test_lsu_statistics():
+    sim, _mem, host, _irq = make_host()
+
+    def program():
+        yield from host.store(BASE, 1)
+        yield from host.load(BASE)
+        yield from host.multicast_store([BASE, BASE + 8], 2)
+
+    run_program(sim, host, program())
+    assert host.lsu.stores_issued == 1
+    assert host.lsu.loads_issued == 1
+    assert host.lsu.multicast_stores_issued == 1
+    assert host.retired_operations == 3

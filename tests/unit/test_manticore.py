@@ -1,0 +1,87 @@
+"""Unit tests for the ManticoreSystem builder and address helpers."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import (
+    CLUSTER_PERIPH_BASE,
+    CLUSTER_PERIPH_STRIDE,
+    ManticoreSystem,
+)
+
+
+def small_system(**overrides):
+    return ManticoreSystem(SoCConfig.extended(num_clusters=4, **overrides))
+
+
+def test_builds_requested_cluster_count():
+    system = small_system()
+    assert len(system.clusters) == 4
+    assert all(c.num_workers == 8 for c in system.clusters)
+
+
+def test_address_map_has_all_regions():
+    system = small_system()
+    names = {region.name for region in system.address_map.regions}
+    assert "dram" in names
+    assert "syncunit" in names
+    for index in range(4):
+        assert f"cluster{index}.periph" in names
+        assert f"cluster{index}.tcdm" in names
+
+
+def test_mailbox_addresses_are_strided():
+    system = small_system()
+    assert system.mailbox_addr(0) == CLUSTER_PERIPH_BASE
+    assert system.mailbox_addr(3) == (CLUSTER_PERIPH_BASE
+                                      + 3 * CLUSTER_PERIPH_STRIDE)
+    with pytest.raises(IndexError):
+        system.mailbox_addr(4)
+
+
+def test_mailbox_addrs_for_multicast():
+    system = small_system()
+    addrs = system.mailbox_addrs(3)
+    assert addrs == tuple(system.mailbox_addr(i) for i in range(3))
+    with pytest.raises(IndexError):
+        system.mailbox_addrs(5)
+    with pytest.raises(IndexError):
+        system.mailbox_addrs(0)
+
+
+def test_mailbox_write_through_map_reaches_cluster():
+    system = small_system()
+    system.address_map.write_word(system.mailbox_addr(2), 0xBEEF)
+    assert system.clusters[2].mailbox.job_ptr == 0xBEEF
+
+
+def test_syncunit_addresses_route_to_unit():
+    system = small_system()
+    system.address_map.write_word(system.syncunit_threshold_addr, 3)
+    assert system.syncunit.threshold == 3
+    system.address_map.write_word(system.syncunit_increment_addr, 1)
+    assert system.address_map.read_word(system.syncunit_count_addr) == 1
+
+
+def test_unmapped_address_rejected():
+    system = small_system()
+    with pytest.raises(MemoryError_):
+        system.address_map.read_word(0x6000_0000)
+
+
+def test_clusters_share_memory_channels():
+    system = small_system()
+    assert all(c.dma.read_channel is system.read_channel
+               for c in system.clusters)
+    assert all(c.dma.write_channel is system.write_channel
+               for c in system.clusters)
+
+
+def test_fresh_system_time_is_zero():
+    assert small_system().sim.now == 0
+
+
+def test_run_drains_idle_system():
+    system = small_system()
+    assert system.run() == 0  # only parked DM cores, no events

@@ -1,0 +1,61 @@
+"""Unit tests for the MAPE metric (Eq. 2)."""
+
+import pytest
+
+from repro.core.mape import PAPER_M_VALUES, PAPER_N_VALUES, mape, mape_table, max_ape
+from repro.core.model import PAPER_DAXPY_MODEL
+from repro.errors import ModelError
+
+
+def test_perfect_prediction_is_zero():
+    assert mape([100, 200], [100, 200]) == 0.0
+
+
+def test_known_value():
+    # 10% off on one of two points -> 5% mean.
+    assert mape([100, 100], [110, 100]) == pytest.approx(5.0)
+
+
+def test_symmetric_in_sign_of_error():
+    assert mape([100], [90]) == mape([100], [110])
+
+
+def test_max_ape_reports_worst_case():
+    assert max_ape([100, 100], [101, 120]) == pytest.approx(20.0)
+
+
+def test_validation():
+    with pytest.raises(ModelError):
+        mape([], [])
+    with pytest.raises(ModelError):
+        mape([100], [100, 200])
+    with pytest.raises(ModelError):
+        mape([0.0], [1.0])
+    with pytest.raises(ModelError):
+        max_ape([100], [1, 2])
+    with pytest.raises(ModelError):
+        max_ape([], [])
+    with pytest.raises(ModelError):
+        max_ape([-1.0], [1.0])
+
+
+def test_mape_table_groups_by_n():
+    model = PAPER_DAXPY_MODEL
+    runtimes = {}
+    for n in PAPER_N_VALUES:
+        for m in PAPER_M_VALUES:
+            runtimes[(m, n)] = model.predict(m, n) * 1.01  # uniform +1%
+    table = mape_table(model, runtimes)
+    assert sorted(table) == sorted(PAPER_N_VALUES)
+    for value in table.values():
+        assert value == pytest.approx(100 * (1 - 1 / 1.01), rel=1e-6)
+
+
+def test_mape_table_empty_rejected():
+    with pytest.raises(ModelError):
+        mape_table(PAPER_DAXPY_MODEL, {})
+
+
+def test_paper_grids_match_paper():
+    assert PAPER_N_VALUES == (256, 512, 768, 1024)
+    assert PAPER_M_VALUES == (1, 2, 4, 8, 16, 32)

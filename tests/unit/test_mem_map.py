@@ -1,0 +1,120 @@
+"""Unit tests for the address map and MMIO routing."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem import AddressMap, MainMemory, MmioDevice, Region
+
+
+class CountingDevice(MmioDevice):
+    """Test device: +0 readable counter, +8 write-to-increment."""
+
+    def __init__(self):
+        self.count = 0
+
+    def read_register(self, offset):
+        if offset == 0:
+            return self.count
+        return super().read_register(offset)
+
+    def write_register(self, offset, value):
+        if offset == 8:
+            self.count += value
+            return
+        super().write_register(offset, value)
+
+
+def make_map():
+    amap = AddressMap()
+    mem = MainMemory(size_bytes=4096, base=0x8000_0000)
+    amap.add(Region("dram", mem.base, mem.size_bytes, mem))
+    device = CountingDevice()
+    amap.add_device("counter", 0x0200_0000, 0x1000, device)
+    return amap, mem, device
+
+
+def test_region_lookup_by_address():
+    amap, mem, _dev = make_map()
+    assert amap.region_at(0x8000_0000).name == "dram"
+    assert amap.region_at(0x0200_0008).name == "counter"
+
+
+def test_unmapped_address_raises():
+    amap, _mem, _dev = make_map()
+    with pytest.raises(MemoryError_):
+        amap.region_at(0x4000_0000)
+
+
+def test_region_lookup_by_name():
+    amap, _mem, _dev = make_map()
+    assert amap.region_named("dram").base == 0x8000_0000
+    with pytest.raises(KeyError):
+        amap.region_named("nope")
+
+
+def test_overlapping_regions_rejected():
+    amap, _mem, _dev = make_map()
+    other = MainMemory(size_bytes=64, base=0x8000_0100)
+    with pytest.raises(MemoryError_):
+        amap.add(Region("overlap", other.base, other.size_bytes, other))
+
+
+def test_duplicate_names_rejected():
+    amap, _mem, _dev = make_map()
+    other = MainMemory(size_bytes=64, base=0x9000_0000)
+    with pytest.raises(MemoryError_):
+        amap.add(Region("dram", other.base, other.size_bytes, other))
+
+
+def test_invalid_region_shapes_rejected():
+    mem = MainMemory(size_bytes=64, base=0)
+    with pytest.raises(MemoryError_):
+        Region("bad", 0, 0, mem)
+    with pytest.raises(MemoryError_):
+        Region("bad", -8, 64, mem)
+
+
+def test_routed_word_access_to_memory():
+    amap, mem, _dev = make_map()
+    amap.write_word(0x8000_0010, 77)
+    assert mem.read_word(0x8000_0010) == 77
+    assert amap.read_word(0x8000_0010) == 77
+
+
+def test_routed_mmio_write_triggers_side_effect():
+    amap, _mem, dev = make_map()
+    amap.write_word(0x0200_0008, 3)
+    amap.write_word(0x0200_0008, 2)
+    assert dev.count == 5
+    assert amap.read_word(0x0200_0000) == 5
+
+
+def test_mmio_unknown_register_raises():
+    amap, _mem, _dev = make_map()
+    with pytest.raises(MemoryError_):
+        amap.read_word(0x0200_0010)
+    with pytest.raises(MemoryError_):
+        amap.write_word(0x0200_0000, 1)  # counter register is read-only
+
+
+def test_amo_add_returns_old_value():
+    amap, mem, _dev = make_map()
+    mem.write_word(0x8000_0020, 10)
+    old = amap.amo_add(0x8000_0020, 5)
+    assert old == 10
+    assert mem.read_word(0x8000_0020) == 15
+
+
+def test_regions_sorted_by_base():
+    amap, _mem, _dev = make_map()
+    bases = [r.base for r in amap.regions]
+    assert bases == sorted(bases)
+    assert len(amap) == 2
+
+
+def test_base_mmio_device_rejects_everything():
+    device = MmioDevice()
+    with pytest.raises(MemoryError_):
+        device.read_register(0)
+    with pytest.raises(MemoryError_):
+        device.write_register(0, 1)

@@ -1,0 +1,59 @@
+"""Unit tests for the cluster scratchpad model."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem import Tcdm, WORD_BYTES
+
+
+BASE = 0x1000_0000
+
+
+def test_defaults_are_manticore_like():
+    tcdm = Tcdm()
+    assert tcdm.size_bytes == 128 * 1024
+    assert tcdm.num_banks == 32
+
+
+def test_fits():
+    tcdm = Tcdm(size_bytes=1024, base=BASE)
+    assert tcdm.fits(1024)
+    assert tcdm.fits(1)
+    assert not tcdm.fits(1025)
+    assert not tcdm.fits(0)
+
+
+def test_free_bytes_decreases_with_allocation():
+    tcdm = Tcdm(size_bytes=1024, base=BASE)
+    assert tcdm.free_bytes() == 1024
+    tcdm.alloc(256)
+    assert tcdm.free_bytes() == 768
+
+
+def test_bank_of_word_interleaving():
+    tcdm = Tcdm(size_bytes=4096, base=BASE, num_banks=4)
+    assert tcdm.bank_of(BASE) == 0
+    assert tcdm.bank_of(BASE + WORD_BYTES) == 1
+    assert tcdm.bank_of(BASE + 4 * WORD_BYTES) == 0
+
+
+def test_bank_of_rejects_foreign_and_unaligned_addresses():
+    tcdm = Tcdm(size_bytes=64, base=BASE)
+    with pytest.raises(MemoryError_):
+        tcdm.bank_of(BASE + 64)
+    with pytest.raises(MemoryError_):
+        tcdm.bank_of(BASE + 1)
+
+
+def test_bank_count_must_be_positive():
+    with pytest.raises(MemoryError_):
+        Tcdm(num_banks=0)
+
+
+def test_clear_zeroes_and_resets():
+    tcdm = Tcdm(size_bytes=64, base=BASE)
+    addr = tcdm.alloc(8)
+    tcdm.write_word(addr, 42)
+    tcdm.clear()
+    assert tcdm.read_word(addr) == 0
+    assert tcdm.alloc(8) == addr

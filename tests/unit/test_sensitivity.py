@@ -1,0 +1,58 @@
+"""Unit tests for the parameter-sensitivity tool."""
+
+import pytest
+
+from repro.analysis.sensitivity import sensitivity
+from repro.errors import ConfigError
+
+
+def test_memory_width_moves_only_the_memory_coefficient():
+    result = sensitivity("mem_read_width_bytes", [32, 64, 128],
+                         n_values=(256, 1024), m_values=(1, 4, 16),
+                         num_clusters=16)
+    mem = result.coefficient("mem_coeff")
+    # Halving the width roughly doubles the *inbound* share of the
+    # memory coefficient (the write channel stays at 64 B/cycle).
+    assert mem[32] > 1.8 * mem[128]
+    compute = result.coefficient("compute_coeff")
+    values = list(compute.values())
+    assert max(values) - min(values) < 0.1 * max(values)
+    assert result.most_sensitive_coefficient() == "mem_coeff"
+
+
+def test_dispatch_occupancy_moves_the_dispatch_coefficient():
+    result = sensitivity("noc_store_occupancy", [4, 8, 16],
+                         design="baseline",
+                         n_values=(256, 1024), m_values=(1, 4, 16),
+                         num_clusters=16)
+    dispatch = result.coefficient("dispatch_coeff")
+    assert dispatch[16] > dispatch[8] > dispatch[4]
+    # Slope tracks occupancy + the 2-cycle address calculation.
+    assert dispatch[8] == pytest.approx(10.0, abs=1.5)
+
+
+def test_host_setup_moves_only_the_constant():
+    result = sensitivity("host_setup_cycles", [58, 158],
+                         n_values=(256, 1024), m_values=(1, 4),
+                         num_clusters=8)
+    t0 = result.coefficient("t0")
+    assert t0[158] - t0[58] == pytest.approx(100, abs=2)
+    assert result.most_sensitive_coefficient() == "t0"
+
+
+def test_render_includes_parameter_name():
+    result = sensitivity("host_setup_cycles", [58],
+                         n_values=(256, 512), m_values=(1, 4),
+                         num_clusters=8)
+    text = result.render()
+    assert "host_setup_cycles" in text
+    assert "most sensitive" in text
+
+
+def test_validation():
+    with pytest.raises(ConfigError, match="no field"):
+        sensitivity("warp_factor", [1])
+    with pytest.raises(ConfigError, match="at least one"):
+        sensitivity("host_setup_cycles", [])
+    with pytest.raises(ConfigError, match="unknown design"):
+        sensitivity("host_setup_cycles", [58], design="quantum")

@@ -1,0 +1,135 @@
+"""Unit tests for events and wait combinators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Simulator
+
+
+def test_event_starts_untriggered():
+    sim = Simulator()
+    event = sim.event("e")
+    assert not event.triggered
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_trigger_sets_value():
+    sim = Simulator()
+    event = sim.event()
+    event.trigger(123)
+    assert event.triggered
+    assert event.value == 123
+
+
+def test_double_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.trigger()
+    with pytest.raises(SimulationError):
+        event.trigger()
+
+
+def test_trigger_returns_self():
+    sim = Simulator()
+    event = sim.event()
+    assert event.trigger("v") is event
+
+
+def test_callback_runs_through_queue_not_synchronously():
+    sim = Simulator()
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.trigger("x")
+    assert seen == []  # not yet: must go through the event queue
+    sim.run()
+    assert seen == ["x"]
+
+
+def test_callback_added_after_trigger_still_runs():
+    sim = Simulator()
+    event = sim.event()
+    event.trigger("late")
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_callbacks_run_in_registration_order():
+    sim = Simulator()
+    event = sim.event()
+    seen = []
+    for i in range(5):
+        event.add_callback(lambda e, i=i: seen.append(i))
+    event.trigger()
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    events = [sim.event(f"e{i}") for i in range(3)]
+    combo = AllOf(sim, events)
+    sim.schedule(1, lambda arg: events[0].trigger("a"))
+    sim.schedule(5, lambda arg: events[2].trigger("c"))
+    sim.schedule(9, lambda arg: events[1].trigger("b"))
+    sim.run(until=combo)
+    assert sim.now == 9
+    assert combo.value == ["a", "b", "c"]  # child order, not firing order
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    combo = AllOf(sim, [])
+    sim.run(until=combo)
+    assert sim.now == 0
+
+
+def test_any_of_fires_on_first_child():
+    sim = Simulator()
+    events = [sim.event(f"e{i}") for i in range(3)]
+    combo = AnyOf(sim, events)
+    sim.schedule(4, lambda arg: events[1].trigger("winner"))
+    sim.schedule(8, lambda arg: events[0].trigger("loser"))
+    sim.run(until=combo)
+    assert sim.now == 4
+    assert combo.value == (1, "winner")
+
+
+def test_any_of_with_already_triggered_child():
+    sim = Simulator()
+    ready = sim.event()
+    ready.trigger("now")
+    pending = sim.event()
+    combo = AnyOf(sim, [pending, ready])
+    sim.run(until=combo)
+    assert combo.value == (1, "now")
+
+
+def test_all_of_with_already_triggered_children():
+    sim = Simulator()
+    events = [sim.event() for _ in range(2)]
+    for i, event in enumerate(events):
+        event.trigger(i)
+    combo = AllOf(sim, events)
+    sim.run(until=combo)
+    assert combo.value == [0, 1]
+
+
+def test_combinators_via_simulator_helpers():
+    sim = Simulator()
+    a, b = sim.event(), sim.event()
+    all_combo = sim.all_of([a, b])
+    any_combo = sim.any_of([a, b])
+    sim.schedule(2, lambda arg: a.trigger(1))
+    sim.schedule(6, lambda arg: b.trigger(2))
+    sim.run()
+    assert any_combo.value == (0, 1)
+    assert all_combo.value == [1, 2]

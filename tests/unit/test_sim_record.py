@@ -1,0 +1,76 @@
+"""Unit tests for the trace recorder."""
+
+import pytest
+
+from repro.sim import Simulator, TraceRecorder
+
+
+def make_recorder():
+    sim = Simulator()
+    return sim, TraceRecorder(sim)
+
+
+def test_records_are_timestamped():
+    sim, rec = make_recorder()
+    rec.record("host", "start")
+    sim.schedule(10, lambda arg: rec.record("host", "end"))
+    sim.run()
+    assert [(r.cycle, r.label) for r in rec] == [(0, "start"), (10, "end")]
+
+
+def test_disabled_recorder_stays_empty():
+    sim = Simulator()
+    rec = TraceRecorder(sim, enabled=False)
+    rec.record("host", "start")
+    assert len(rec) == 0
+
+
+def test_filter_by_source_and_label():
+    sim, rec = make_recorder()
+    rec.record("host", "store")
+    rec.record("cluster0", "store")
+    rec.record("host", "load")
+    assert len(rec.filter(source="host")) == 2
+    assert len(rec.filter(label="store")) == 2
+    assert len(rec.filter(source="host", label="store")) == 1
+
+
+def test_first_and_last():
+    sim, rec = make_recorder()
+    rec.record("a", "tick", 1)
+    sim.schedule(5, lambda arg: rec.record("b", "tick", 2))
+    sim.run()
+    assert rec.first("tick").data == 1
+    assert rec.last("tick").data == 2
+    assert rec.first("missing") is None
+    assert rec.last("missing") is None
+
+
+def test_cycle_of_and_span():
+    sim, rec = make_recorder()
+    rec.record("host", "dispatch_start")
+    sim.schedule(37, lambda arg: rec.record("host", "dispatch_done"))
+    sim.run()
+    assert rec.cycle_of("dispatch_start") == 0
+    assert rec.span("dispatch_start", "dispatch_done") == 37
+
+
+def test_cycle_of_missing_label_raises():
+    _sim, rec = make_recorder()
+    with pytest.raises(KeyError):
+        rec.cycle_of("never")
+
+
+def test_labels_in_first_appearance_order():
+    _sim, rec = make_recorder()
+    rec.record("x", "b")
+    rec.record("x", "a")
+    rec.record("x", "b")
+    assert rec.labels() == ["b", "a"]
+
+
+def test_clear():
+    _sim, rec = make_recorder()
+    rec.record("x", "a")
+    rec.clear()
+    assert len(rec) == 0

@@ -1,0 +1,137 @@
+"""Unit tests for SerialResource and ThroughputChannel timing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SerialResource, Simulator, ThroughputChannel
+
+
+def test_single_request_completes_after_service_time():
+    sim = Simulator()
+    res = SerialResource(sim, "bus")
+    done = res.request(10)
+    sim.run(until=done)
+    assert sim.now == 10
+    assert done.value == 10
+
+
+def test_back_to_back_requests_serialize():
+    sim = Simulator()
+    res = SerialResource(sim, "bus")
+    first = res.request(10)
+    second = res.request(10)
+    sim.run(until=second)
+    assert first.value == 10
+    assert second.value == 20
+
+
+def test_request_after_idle_starts_immediately():
+    sim = Simulator()
+    res = SerialResource(sim, "bus")
+
+    def body():
+        yield from res.acquire(5)   # finishes at 5
+        yield 100                   # idle gap
+        finish = yield from res.acquire(5)
+        return finish
+
+    proc = sim.spawn(body())
+    sim.run()
+    assert proc.value == 110
+
+
+def test_zero_cycle_request_completes_now():
+    sim = Simulator()
+    res = SerialResource(sim, "bus")
+    done = res.request(0)
+    sim.run(until=done)
+    assert sim.now == 0
+
+
+def test_negative_service_time_rejected():
+    sim = Simulator()
+    res = SerialResource(sim, "bus")
+    with pytest.raises(SimulationError):
+        res.request(-1)
+
+
+def test_fifo_order_among_same_cycle_requesters():
+    sim = Simulator()
+    res = SerialResource(sim, "bus")
+    finishes = []
+
+    def requester(tag):
+        finish = yield from res.acquire(4)
+        finishes.append((tag, finish))
+
+    for tag in ["a", "b", "c"]:
+        sim.spawn(requester(tag))
+    sim.run()
+    assert finishes == [("a", 4), ("b", 8), ("c", 12)]
+
+
+def test_busy_cycles_and_requests_accounting():
+    sim = Simulator()
+    res = SerialResource(sim, "bus")
+    res.request(3)
+    res.request(7)
+    sim.run()
+    assert res.busy_cycles == 10
+    assert res.requests == 2
+
+
+def test_utilization():
+    sim = Simulator()
+    res = SerialResource(sim, "bus")
+    assert res.utilization() == 0.0
+    res.request(10)
+    sim.run()
+    sim.schedule(10, lambda arg: None)
+    sim.run()
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_channel_cycles_for_exact_and_partial_beats():
+    sim = Simulator()
+    chan = ThroughputChannel(sim, width_bytes=64, name="hbm")
+    assert chan.cycles_for(0) == 0
+    assert chan.cycles_for(1) == 1
+    assert chan.cycles_for(64) == 1
+    assert chan.cycles_for(65) == 2
+    assert chan.cycles_for(16 * 1024) == 256  # the paper's N/4 for N=1024
+
+
+def test_channel_negative_bytes_rejected():
+    sim = Simulator()
+    chan = ThroughputChannel(sim, width_bytes=64)
+    with pytest.raises(SimulationError):
+        chan.cycles_for(-8)
+
+
+def test_channel_width_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        ThroughputChannel(sim, width_bytes=0)
+
+
+def test_channel_transfers_contend():
+    sim = Simulator()
+    chan = ThroughputChannel(sim, width_bytes=64, name="hbm")
+    # Two clusters each moving 512 bytes at the same time: aggregate
+    # service is serialized, 8 + 8 cycles.
+    first = chan.transfer(512)
+    second = chan.transfer(512)
+    sim.run(until=second)
+    assert first.value == 8
+    assert second.value == 16
+    assert chan.bytes_moved == 1024
+
+
+def test_next_free_tracks_clock_when_idle():
+    sim = Simulator()
+    res = SerialResource(sim, "bus")
+    res.request(5)
+    sim.run()
+    sim.schedule(20, lambda arg: None)
+    sim.run()
+    assert res.next_free == sim.now

@@ -1,0 +1,104 @@
+"""Unit tests for the credit-counter synchronization unit."""
+
+import pytest
+
+from repro.errors import ConfigError, MemoryError_
+from repro.host.irq import InterruptController
+from repro.sim import Simulator
+from repro.soc.syncunit import (
+    CLEAR_OFFSET,
+    COUNT_OFFSET,
+    FIRED_OFFSET,
+    INCREMENT_OFFSET,
+    IRQ_LINE,
+    SyncUnit,
+    THRESHOLD_OFFSET,
+)
+
+
+def make_unit(irq_latency=4):
+    sim = Simulator()
+    irq = InterruptController(sim, wake_latency=0)
+    unit = SyncUnit(sim, irq, irq_latency=irq_latency)
+    return sim, irq, unit
+
+
+def test_threshold_write_arms_and_clears_count():
+    _sim, _irq, unit = make_unit()
+    unit.write_register(INCREMENT_OFFSET, 1)  # stray credit from before
+    unit.write_register(THRESHOLD_OFFSET, 4)
+    assert unit.read_register(THRESHOLD_OFFSET) == 4
+    assert unit.read_register(COUNT_OFFSET) == 0
+    assert unit.armed
+
+
+def test_increment_counts_regardless_of_data():
+    _sim, _irq, unit = make_unit()
+    unit.write_register(THRESHOLD_OFFSET, 10)
+    unit.write_register(INCREMENT_OFFSET, 0)
+    unit.write_register(INCREMENT_OFFSET, 999)
+    assert unit.read_register(COUNT_OFFSET) == 2
+
+
+def test_interrupt_fires_at_threshold_after_latency():
+    sim, irq, unit = make_unit(irq_latency=4)
+    unit.write_register(THRESHOLD_OFFSET, 2)
+    sim.schedule(10, lambda arg: unit.write_register(INCREMENT_OFFSET, 1))
+    sim.schedule(30, lambda arg: unit.write_register(INCREMENT_OFFSET, 1))
+    sim.run()
+    assert irq.is_pending(IRQ_LINE)
+    assert unit.read_register(FIRED_OFFSET) == 1
+    # The raise was scheduled 4 cycles after the threshold increment.
+    assert sim.now == 34
+
+
+def test_interrupt_fires_once_per_arming():
+    sim, irq, unit = make_unit()
+    unit.write_register(THRESHOLD_OFFSET, 1)
+    unit.write_register(INCREMENT_OFFSET, 1)
+    unit.write_register(INCREMENT_OFFSET, 1)  # extra credit: no second IRQ
+    sim.run()
+    assert unit.interrupts_fired == 1
+    assert irq.raise_count(IRQ_LINE) == 1
+
+
+def test_rearming_allows_next_job():
+    sim, irq, unit = make_unit()
+    for _job in range(3):
+        unit.write_register(THRESHOLD_OFFSET, 2)
+        unit.write_register(INCREMENT_OFFSET, 1)
+        unit.write_register(INCREMENT_OFFSET, 1)
+        sim.run()
+        irq.clear(IRQ_LINE)
+    assert unit.interrupts_fired == 3
+
+
+def test_clear_disarms():
+    sim, irq, unit = make_unit()
+    unit.write_register(THRESHOLD_OFFSET, 1)
+    unit.write_register(CLEAR_OFFSET, 1)
+    unit.write_register(INCREMENT_OFFSET, 1)
+    sim.run()
+    assert unit.interrupts_fired == 0
+    assert not irq.is_pending(IRQ_LINE)
+
+
+def test_invalid_threshold_rejected():
+    _sim, _irq, unit = make_unit()
+    with pytest.raises(ConfigError):
+        unit.write_register(THRESHOLD_OFFSET, 0)
+
+
+def test_unknown_register_rejected():
+    _sim, _irq, unit = make_unit()
+    with pytest.raises(MemoryError_):
+        unit.read_register(0x100)
+    with pytest.raises(MemoryError_):
+        unit.write_register(COUNT_OFFSET, 5)  # count is read-only
+
+
+def test_negative_irq_latency_rejected():
+    sim = Simulator()
+    irq = InterruptController(sim)
+    with pytest.raises(ConfigError):
+        SyncUnit(sim, irq, irq_latency=-1)

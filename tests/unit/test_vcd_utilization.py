@@ -1,0 +1,110 @@
+"""Unit tests for VCD export and the utilization report."""
+
+import pytest
+
+from repro.analysis.utilization import collect_utilization, utilization_report
+from repro.analysis.vcd import _identifier, trace_to_vcd, write_vcd
+from repro.core.offload import offload_daxpy
+from repro.sim import Simulator, TraceRecorder
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+
+def ran_system():
+    system = ManticoreSystem(SoCConfig.extended(num_clusters=4))
+    offload_daxpy(system, n=256, num_clusters=4)
+    return system
+
+
+# ----------------------------------------------------------------------
+# VCD export
+# ----------------------------------------------------------------------
+def test_identifier_sequence_is_unique_and_printable():
+    idents = [_identifier(i) for i in range(500)]
+    assert len(set(idents)) == 500
+    assert all(33 <= ord(ch) <= 126 for ident in idents for ch in ident)
+    assert _identifier(0) == "!"
+
+
+def test_vcd_structure():
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+    recorder.record("host", "start")
+    sim.schedule(10, lambda arg: recorder.record("host", "stop"))
+    sim.run()
+    vcd = trace_to_vcd(recorder)
+    assert "$timescale 1ns $end" in vcd
+    assert "$var wire 1 ! start $end" in vcd
+    assert "$enddefinitions $end" in vcd
+    assert "#0" in vcd and "#10" in vcd
+    # The pulse falls one cycle after it rises.
+    assert "#1\n" in vcd and "#11\n" in vcd
+
+
+def test_vcd_pulse_ordering_on_repeated_labels():
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+    recorder.record("x", "tick")
+    sim.schedule(1, lambda arg: recorder.record("x", "tick"))
+    sim.run()
+    vcd = trace_to_vcd(recorder)
+    # At cycle 1 the fall from the first pulse precedes the new rise.
+    block = vcd.split("#1\n", 1)[1].split("#", 1)[0]
+    assert block.index("0!") < block.index("1!")
+
+
+def test_vcd_of_full_offload_covers_all_sources(tmp_path):
+    system = ran_system()
+    vcd = trace_to_vcd(system.trace)
+    assert "$scope module host $end" in vcd
+    for index in range(4):
+        assert f"$scope module cluster{index} $end" in vcd
+    path = tmp_path / "offload.vcd"
+    write_vcd(system.trace, str(path))
+    assert path.read_text() == vcd
+
+
+def test_vcd_rejects_empty_trace():
+    recorder = TraceRecorder(Simulator())
+    with pytest.raises(ValueError):
+        trace_to_vcd(recorder)
+
+
+# ----------------------------------------------------------------------
+# Utilization
+# ----------------------------------------------------------------------
+def test_utilization_lists_active_resources():
+    system = ran_system()
+    usages = collect_utilization(system)
+    names = [usage.name for usage in usages]
+    assert "mem.read" in names
+    assert "mem.write" in names
+    assert "noc.host_port" in names
+    for usage in usages:
+        assert usage.requests > 0
+        assert 0.0 <= usage.utilization <= 1.0
+
+
+def test_utilization_skips_idle_by_default():
+    system = ManticoreSystem(SoCConfig.extended(num_clusters=4))
+    assert collect_utilization(system) == []
+    everything = collect_utilization(system, include_idle=True)
+    assert len(everything) == 4 + 4  # channels, host, amo + 4 cluster ports
+
+
+def test_utilization_sorted_by_busy_cycles():
+    usages = collect_utilization(ran_system())
+    busy = [usage.busy_cycles for usage in usages]
+    assert busy == sorted(busy, reverse=True)
+
+
+def test_utilization_report_renders():
+    text = utilization_report(ran_system())
+    assert "resource utilization" in text
+    assert "mem.read" in text
+    assert "%" in text
+
+
+def test_utilization_report_idle_system():
+    system = ManticoreSystem(SoCConfig.extended(num_clusters=4))
+    assert "(no traffic)" in utilization_report(system)

@@ -1,0 +1,161 @@
+"""Unit tests for the workload layer: streams, policies, execution."""
+
+import pytest
+
+from repro.core.decision import HostExecutionModel
+from repro.core.model import OffloadModel
+from repro.errors import KernelError, OffloadError
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+from repro.workload import (
+    AlwaysHost,
+    AlwaysOffload,
+    JobSpec,
+    ModelDriven,
+    Placement,
+    characterize_platform,
+    generate_workload,
+    run_workload,
+)
+
+
+SMALL_CFG = SoCConfig.extended(num_clusters=8)
+
+
+def small_system():
+    return ManticoreSystem(SMALL_CFG)
+
+
+# ----------------------------------------------------------------------
+# JobSpec & generation
+# ----------------------------------------------------------------------
+def test_jobspec_fills_default_scalars():
+    job = JobSpec(kernel_name="daxpy", n=64)
+    assert job.scalars == {"a": 1.0}
+
+
+def test_jobspec_validates_kernel_and_size():
+    with pytest.raises(KernelError):
+        JobSpec(kernel_name="daxpy", n=0)
+    with pytest.raises(KernelError):
+        JobSpec(kernel_name="nope", n=64)
+    with pytest.raises(KernelError):
+        JobSpec(kernel_name="daxpy", n=64, scalars={"zz": 1.0})
+
+
+def test_generate_workload_is_reproducible():
+    first = generate_workload(20, seed=3)
+    second = generate_workload(20, seed=3)
+    assert first == second
+    different = generate_workload(20, seed=4)
+    assert first != different
+
+
+def test_generate_workload_respects_bounds():
+    jobs = generate_workload(100, kernels=("daxpy",), min_n=32, max_n=512,
+                             seed=1)
+    assert len(jobs) == 100
+    assert all(32 <= job.n <= 512 for job in jobs)
+    assert all(job.kernel_name == "daxpy" for job in jobs)
+
+
+def test_generate_workload_is_size_diverse():
+    jobs = generate_workload(100, min_n=16, max_n=4096, seed=2)
+    sizes = {job.n for job in jobs}
+    assert len(sizes) > 50  # log-uniform draw, not constant
+
+
+def test_generate_workload_validation():
+    with pytest.raises(OffloadError):
+        generate_workload(0)
+    with pytest.raises(OffloadError):
+        generate_workload(5, min_n=100, max_n=50)
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+def test_always_host_policy():
+    placement = AlwaysHost().place(JobSpec("daxpy", 1024), 32)
+    assert placement == Placement(offload=False, num_clusters=0)
+
+
+def test_always_offload_clamps_to_fabric():
+    policy = AlwaysOffload(num_clusters=32)
+    assert policy.place(JobSpec("daxpy", 64), 8).num_clusters == 8
+
+
+def test_model_driven_routes_by_size():
+    model = OffloadModel(t0=367, mem_coeff=0.25, compute_coeff=0.325)
+    host = HostExecutionModel(cycles_per_element=4.0, setup_cycles=14)
+    policy = ModelDriven({"daxpy": model}, {"daxpy": host})
+    small = policy.place(JobSpec("daxpy", 16), 32)
+    large = policy.place(JobSpec("daxpy", 4096), 32)
+    assert not small.offload
+    assert large.offload and large.num_clusters == 32
+
+
+def test_model_driven_unknown_kernel():
+    policy = ModelDriven({}, {})
+    with pytest.raises(OffloadError, match="characterized"):
+        policy.place(JobSpec("daxpy", 64), 8)
+
+
+def test_characterize_platform_builds_models_per_kernel():
+    policy = characterize_platform(SMALL_CFG, ("daxpy", "memcpy"),
+                                   n_values=(128, 256, 512),
+                                   m_values=(1, 2, 4, 8))
+    assert set(policy.offload_models) == {"daxpy", "memcpy"}
+    daxpy_model = policy.offload_models["daxpy"]
+    assert daxpy_model.t0 == pytest.approx(366, abs=10)
+    host = policy.host_models["daxpy"]
+    assert host.cycles_per_element == pytest.approx(4.0, abs=0.05)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def test_run_workload_accounts_every_job():
+    jobs = generate_workload(5, kernels=("daxpy",), min_n=64, max_n=256,
+                             seed=1)
+    result = run_workload(small_system(), jobs, AlwaysOffload(4))
+    assert len(result.outcomes) == 5
+    assert result.offloaded_jobs == 5
+    assert result.host_jobs == 0
+    assert result.makespan_cycles == sum(o.cycles for o in result.outcomes)
+
+
+def test_run_workload_host_policy_uses_host_rates():
+    jobs = [JobSpec("daxpy", 100)]
+    result = run_workload(small_system(), jobs, AlwaysHost())
+    from repro.kernels import get_kernel
+    assert result.outcomes[0].cycles == \
+        get_kernel("daxpy").host_compute_cycles(100)
+
+
+def test_run_workload_empty_rejected():
+    with pytest.raises(OffloadError):
+        run_workload(small_system(), [], AlwaysHost())
+
+
+def test_adaptive_never_loses_to_static_policies():
+    jobs = generate_workload(12, kernels=("daxpy", "memcpy"), min_n=16,
+                             max_n=2048, seed=5)
+    adaptive = characterize_platform(SMALL_CFG, ("daxpy", "memcpy"),
+                                     n_values=(128, 512, 1024),
+                                     m_values=(1, 2, 4, 8))
+    adaptive_result = run_workload(small_system(), jobs, adaptive)
+    for static in (AlwaysHost(), AlwaysOffload(8)):
+        static_result = run_workload(small_system(), jobs, static)
+        assert adaptive_result.makespan_cycles \
+            <= static_result.makespan_cycles * 1.02  # model error margin
+
+
+def test_mixed_placement_on_mixed_stream():
+    jobs = [JobSpec("daxpy", 16), JobSpec("daxpy", 4096)]
+    adaptive = characterize_platform(SMALL_CFG, ("daxpy",),
+                                     n_values=(128, 512, 1024),
+                                     m_values=(1, 2, 4, 8))
+    result = run_workload(small_system(), jobs, adaptive)
+    assert result.host_jobs == 1
+    assert result.offloaded_jobs == 1
