@@ -28,6 +28,28 @@ def test_event_queue_throughput(benchmark):
     assert benchmark(run) == 100_000
 
 
+def test_zero_delay_event_throughput(benchmark):
+    """Chain one hundred thousand zero-delay event waits.
+
+    Event triggers and process kick-offs all schedule at delay 0, so
+    this isolates the kernel's zero-delay FIFO fast path (the heap
+    never sees these callbacks).
+    """
+    def run():
+        sim = Simulator()
+
+        def body():
+            for _ in range(100_000):
+                yield sim.timer(0)
+            return sim.now
+
+        proc = sim.spawn(body())
+        sim.run()
+        return proc.value
+
+    assert benchmark(run) == 0
+
+
 def test_resource_contention_throughput(benchmark):
     """Ten thousand requests through one FIFO resource."""
     def run():

@@ -45,6 +45,8 @@ from repro.core.concurrent import (
 )
 from repro.core.overlap import OverlappedResult, offload_overlapped
 from repro.core.tiling import TiledOffloadResult, offload_tiled
+from repro.core.cache import SweepCache
+from repro.core.executor import SweepExecutor
 from repro.core.sweep import SweepPoint, SweepResult, sweep
 from repro.energy import EnergyBreakdown, EnergyMeter, PowerBudget
 from repro.errors import (
@@ -86,6 +88,8 @@ __all__ = [
     "RUNTIME_VARIANTS",
     "SimulationError",
     "SoCConfig",
+    "SweepCache",
+    "SweepExecutor",
     "SweepPoint",
     "SweepResult",
     "get_kernel",

@@ -15,13 +15,18 @@ Usage::
     repro all                   # everything above, in order
     repro offload --kernel daxpy --n 1024 --clusters 8   # one job
 
-Every experiment accepts ``--clusters`` to size the fabric.  Numbers
-are cycle counts at the paper's 1 GHz (1 cycle = 1 ns).
+Every experiment accepts ``--clusters`` to size the fabric and
+``--jobs/-j`` to fan its measurement sweeps out over worker processes
+(``-j 0`` = one per core; results are bit-identical to serial).  The
+``sweep`` command additionally caches measured points on disk
+(``--no-cache`` disables; ``REPRO_CACHE_DIR`` relocates).  Numbers are
+cycle counts at the paper's 1 GHz (1 cycle = 1 ns).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import typing
 
@@ -73,15 +78,23 @@ def _build_parser() -> argparse.ArgumentParser:
                     "Heterogeneous MPSoCs' (DATE 2024)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--jobs", "-j", type=int, default=1, metavar="N",
+            help="worker processes for measurement sweeps "
+                 "(default 1 = serial, 0 = all cores)")
+
     sub.add_parser("list", help="list available experiments")
 
     for name, (help_text, _fn) in _EXPERIMENTS.items():
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--clusters", type=int, default=32,
                          help="fabric size (default 32)")
+        add_jobs_flag(cmd)
 
     run_all = sub.add_parser("all", help="run every experiment in order")
     run_all.add_argument("--clusters", type=int, default=32)
+    add_jobs_flag(run_all)
 
     sweep_cmd = sub.add_parser(
         "sweep", help="measure an (N, M) grid and export it as CSV")
@@ -101,11 +114,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--csv", metavar="PATH",
                            help="write the grid to this file "
                                 "(default: stdout)")
+    add_jobs_flag(sweep_cmd)
+    sweep_cmd.add_argument("--no-cache", action="store_true",
+                           help="always re-simulate; do not read or "
+                                "write the on-disk sweep cache")
 
     report_cmd = sub.add_parser(
         "report", help="run every experiment and write a markdown report")
     report_cmd.add_argument("--out", metavar="PATH", required=True)
     report_cmd.add_argument("--clusters", type=int, default=32)
+    add_jobs_flag(report_cmd)
 
     one = sub.add_parser("offload", help="run and time a single offload")
     one.add_argument("--kernel", default="daxpy", choices=kernel_names())
@@ -126,27 +144,41 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiment(name: str, clusters: int,
-                    out: typing.TextIO) -> None:
+def _run_experiment(name: str, clusters: int, out: typing.TextIO,
+                    jobs: int = 1) -> None:
     _help, fn = _EXPERIMENTS[name]
-    result = fn(num_clusters=clusters)
+    kwargs: typing.Dict[str, typing.Any] = {"num_clusters": clusters}
+    # Experiments whose cost is sweep-shaped take a ``jobs`` fan-out
+    # parameter; single-offload experiments (crossover, energy, ...)
+    # have nothing to parallelize and no such parameter.
+    if "jobs" in inspect.signature(fn).parameters:
+        kwargs["jobs"] = jobs
+    result = fn(**kwargs)
     out.write(result.render() + "\n")
 
 
 def _run_sweep(args, out: typing.TextIO) -> None:
     from repro.analysis.export import sweep_to_csv
-    from repro.core.sweep import sweep as run_sweep
+    from repro.core.cache import SweepCache, default_cache_dir
+    from repro.core.executor import SweepExecutor
 
     config = SoCConfig.extended(num_clusters=args.clusters)
     if args.variant == "baseline":
         config = SoCConfig.baseline(num_clusters=args.clusters)
-    result = run_sweep(config, args.kernel, args.n, args.m,
-                       variant=args.variant)
+    cache = None if args.no_cache else SweepCache(default_cache_dir())
+    executor = SweepExecutor(jobs=args.jobs, cache=cache)
+    result = executor.run(config, args.kernel, args.n, args.m,
+                          variant=args.variant)
     csv_text = sweep_to_csv(result)
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(csv_text)
         out.write(f"{len(result)} points written to {args.csv}\n")
+        if cache is not None:
+            # Keep bare stdout pure CSV; stats only accompany --csv runs.
+            out.write(f"cache: {executor.cache_hits} hits, "
+                      f"{executor.simulated_points} simulated "
+                      f"({cache.directory})\n")
     else:
         out.write(csv_text)
 
@@ -160,10 +192,13 @@ def _run_report(args, out: typing.TextIO) -> None:
         "",
     ]
     for name, (help_text, fn) in _EXPERIMENTS.items():
+        kwargs: typing.Dict[str, typing.Any] = {"num_clusters": args.clusters}
+        if "jobs" in inspect.signature(fn).parameters:
+            kwargs["jobs"] = args.jobs
         lines.append(f"## {name} — {help_text}")
         lines.append("")
         lines.append("```")
-        lines.append(fn(num_clusters=args.clusters).render())
+        lines.append(fn(**kwargs).render())
         lines.append("```")
         lines.append("")
     with open(args.out, "w") as handle:
@@ -202,7 +237,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         elif args.command == "all":
             for name in _EXPERIMENTS:
                 out.write(f"\n=== {name} {'=' * max(0, 60 - len(name))}\n")
-                _run_experiment(name, args.clusters, out)
+                _run_experiment(name, args.clusters, out, jobs=args.jobs)
         elif args.command == "offload":
             _run_offload(args, out)
         elif args.command == "sweep":
@@ -210,7 +245,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         elif args.command == "report":
             _run_report(args, out)
         else:
-            _run_experiment(args.command, args.clusters, out)
+            _run_experiment(args.command, args.clusters, out, jobs=args.jobs)
     except ReproError as error:
         out.write(f"error: {error}\n")
         return 1

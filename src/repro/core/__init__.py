@@ -4,6 +4,10 @@
   simulated SoC and measure it;
 - :mod:`repro.core.sweep` — measure grids of (kernel, N, M, variant)
   points, the raw material of every figure;
+- :mod:`repro.core.executor` — parallel fan-out of sweep grids over
+  worker processes, with deterministic grid-order reassembly;
+- :mod:`repro.core.cache` — content-addressed memoization of measured
+  sweep points (keyed on config digest + job coordinates);
 - :mod:`repro.core.model` — the analytic runtime model (Eq. 1,
   generalized) and its least-squares fit;
 - :mod:`repro.core.mape` — the validation metric (Eq. 2);
@@ -11,7 +15,9 @@
   extensions: deadline feasibility, host-vs-accelerator choice, energy).
 """
 
+from repro.core.cache import SweepCache
 from repro.core.decision import OffloadDecision, min_clusters_for_deadline
+from repro.core.executor import SweepExecutor
 from repro.core.mape import mape, mape_table
 from repro.core.model import OffloadModel, PAPER_DAXPY_MODEL
 from repro.core.offload import OffloadResult, offload, offload_daxpy
@@ -22,6 +28,8 @@ __all__ = [
     "OffloadModel",
     "OffloadResult",
     "PAPER_DAXPY_MODEL",
+    "SweepCache",
+    "SweepExecutor",
     "SweepPoint",
     "SweepResult",
     "mape",

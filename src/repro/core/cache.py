@@ -1,0 +1,140 @@
+"""Content-addressed cache of measured sweep points.
+
+Simulating one grid point is pure: the cycle counts depend only on the
+SoC configuration and the job coordinates (kernel, N, M, variant,
+scalars, seed).  That makes sweep results safe to memoize under a
+content hash of exactly those inputs — re-fitting the model after an
+analysis-only change replays the grid from the cache instead of
+re-simulating it.
+
+The cache has two layers:
+
+- an in-memory dict, always on, scoped to the
+  :class:`SweepCache` instance;
+- an optional on-disk layer (one small JSON file per point under
+  ``directory``), shared between runs and between processes.
+
+Keys are SHA-256 hashes; the config contributes via
+:meth:`repro.soc.config.SoCConfig.digest`, so *any* microarchitectural
+change invalidates every point measured under the old timing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import typing
+
+from repro.core.sweep import SweepPoint
+from repro.soc.config import SoCConfig
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump when the on-disk record layout changes; stale files then miss.
+_SCHEMA = 1
+
+
+def default_cache_dir() -> str:
+    """The CLI's on-disk cache location (override with ``REPRO_CACHE_DIR``)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-sweeps")
+
+
+def point_key(config: SoCConfig, kernel_name: str, n: int, m: int,
+              variant: str,
+              scalars: typing.Optional[typing.Mapping[str, float]],
+              seed: int) -> str:
+    """Content address of one grid point's measurement."""
+    scalar_part = ("" if not scalars else
+                   ",".join(f"{k}={scalars[k]!r}" for k in sorted(scalars)))
+    text = (f"schema={_SCHEMA};config={config.digest()};"
+            f"kernel={kernel_name};n={n};m={m};variant={variant};"
+            f"scalars={scalar_part};seed={seed}")
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """Memoizes :class:`~repro.core.sweep.SweepPoint` measurements.
+
+    Parameters
+    ----------
+    directory:
+        If given, points are also persisted as JSON files here (created
+        on first write), so the cache survives the process and is
+        shared across concurrent sweeps.  ``None`` keeps the cache
+        purely in memory.
+    """
+
+    def __init__(self, directory: typing.Optional[str] = None) -> None:
+        self.directory = directory
+        self._memory: typing.Dict[str, SweepPoint] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> typing.Optional[SweepPoint]:
+        """The cached point for ``key``, or None (counts hit/miss)."""
+        point = self._memory.get(key)
+        if point is None and self.directory is not None:
+            point = self._read_disk(key)
+            if point is not None:
+                self._memory[key] = point
+        if point is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return point
+
+    def put(self, key: str, point: SweepPoint) -> None:
+        """Store a freshly measured point under its content address."""
+        self._memory[key] = point
+        if self.directory is not None:
+            self._write_disk(key, point)
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _read_disk(self, key: str) -> typing.Optional[SweepPoint]:
+        try:
+            with open(self._path(key)) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if record.get("schema") != _SCHEMA:
+            return None
+        return SweepPoint(
+            kernel_name=record["kernel_name"], n=record["n"],
+            num_clusters=record["num_clusters"], variant=record["variant"],
+            runtime_cycles=record["runtime_cycles"],
+            phases=dict(record["phases"]))
+
+    def _write_disk(self, key: str, point: SweepPoint) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        record = {
+            "schema": _SCHEMA,
+            "kernel_name": point.kernel_name,
+            "n": point.n,
+            "num_clusters": point.num_clusters,
+            "variant": point.variant,
+            "runtime_cycles": point.runtime_cycles,
+            "phases": dict(point.phases),
+        }
+        # Write-then-rename so concurrent sweep workers never observe a
+        # torn file; last writer wins, and all writers agree anyway.
+        path = self._path(key)
+        temp = f"{path}.tmp.{os.getpid()}"
+        with open(temp, "w") as handle:
+            json.dump(record, handle)
+        os.replace(temp, path)

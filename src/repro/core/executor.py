@@ -1,0 +1,210 @@
+"""Parallel, cached execution of measurement sweeps.
+
+A sweep is embarrassingly parallel: every grid point runs on a *fresh*
+:class:`~repro.soc.manticore.ManticoreSystem`, so points share no state
+and any execution order yields the same measurements.
+:class:`SweepExecutor` exploits that in two ways:
+
+- **fan-out** — grid points are packed into contiguous chunks and
+  distributed over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (simulation is pure Python, so threads would serialize on the GIL);
+- **memoization** — an optional :class:`~repro.core.cache.SweepCache`
+  is consulted first, keyed on the content address of each point
+  (config digest, kernel, N, M, variant, scalars, seed), so repeated
+  sweeps skip simulation entirely.
+
+Determinism guarantee
+---------------------
+Results are reassembled **by grid coordinate** (N-major, then M, the
+serial iteration order), never by completion order, and each point's
+simulation is bit-reproducible on a fresh SoC.  A parallel sweep
+therefore returns a :class:`~repro.core.sweep.SweepResult` equal to the
+serial one, point for point — including the order in which a
+``progress`` callback observes them.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import typing
+
+from repro.core.cache import SweepCache, point_key
+from repro.core.offload import offload
+from repro.core.sweep import SweepPoint, SweepResult
+from repro.errors import OffloadError
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Worker-count policy: ``1`` = in-process serial, ``0`` = all cores."""
+    if jobs < 0:
+        raise OffloadError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def measure_point(config: SoCConfig, kernel_name: str, n: int, m: int,
+                  variant: str,
+                  scalars: typing.Optional[typing.Mapping[str, float]],
+                  seed: int, verify: bool) -> SweepPoint:
+    """Simulate one grid point on a fresh SoC and summarize it."""
+    system = ManticoreSystem(config)
+    result = offload(system, kernel_name, n, m, scalars=scalars,
+                     variant=variant, seed=seed, verify=verify)
+    return SweepPoint(
+        kernel_name=kernel_name, n=n, num_clusters=m,
+        variant=result.variant, runtime_cycles=result.runtime_cycles,
+        phases=result.trace.phase_summary())
+
+
+def _measure_chunk(config: SoCConfig, kernel_name: str,
+                   coords: typing.Sequence[typing.Tuple[int, int]],
+                   variant: str,
+                   scalars: typing.Optional[typing.Mapping[str, float]],
+                   seed: int, verify: bool) -> typing.List[SweepPoint]:
+    """Worker-process entry point: simulate a chunk of (N, M) coords."""
+    return [measure_point(config, kernel_name, n, m, variant, scalars,
+                          seed, verify)
+            for n, m in coords]
+
+
+class SweepExecutor:
+    """Runs (N, M) grids serially or fanned out over worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        ``1`` (default) simulates in-process, point by point — the
+        exact serial path :func:`repro.core.sweep.sweep` always had.
+        ``0`` uses every core; ``k > 1`` uses ``k`` worker processes.
+    cache:
+        Optional :class:`SweepCache`.  Cached points are never
+        re-simulated; fresh points are stored back.
+    chunk_size:
+        Grid points per worker task.  Defaults to splitting the
+        outstanding points into about four chunks per worker, which
+        amortizes task dispatch without starving the pool near the end
+        of an unevenly sized grid.
+
+    Counters (reset at the start of every :meth:`run`):
+
+    - ``cache_hits`` / ``cache_misses`` — cache outcomes this run;
+    - ``simulated_points`` — simulations actually executed this run
+      (``0`` on a fully cached sweep).
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: typing.Optional[SweepCache] = None,
+                 chunk_size: typing.Optional[int] = None) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise OffloadError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.simulated_points = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, config: SoCConfig, kernel_name: str,
+            n_values: typing.Sequence[int], m_values: typing.Sequence[int],
+            variant: str = "auto",
+            scalars: typing.Optional[typing.Mapping[str, float]] = None,
+            seed: int = 0, verify: bool = True,
+            progress: typing.Optional[
+                typing.Callable[[SweepPoint], None]] = None) -> SweepResult:
+        """Measure the grid; same contract as :func:`repro.core.sweep.sweep`."""
+        if not n_values or not m_values:
+            raise OffloadError("sweep needs at least one N and one M value")
+        bad = [m for m in m_values if m > config.num_clusters]
+        if bad:
+            raise OffloadError(
+                f"m_values {bad} exceed the fabric size {config.num_clusters}")
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.simulated_points = 0
+
+        # N-major grid order: the serial iteration order, and the order
+        # of the returned points regardless of execution interleaving.
+        coords = [(n, m) for n in n_values for m in m_values]
+        slots: typing.List[typing.Optional[SweepPoint]] = [None] * len(coords)
+        pending: typing.List[typing.Tuple[int, int, int]] = []  # (slot, n, m)
+        keys: typing.Dict[int, str] = {}
+        for index, (n, m) in enumerate(coords):
+            if self.cache is not None:
+                key = point_key(config, kernel_name, n, m, variant,
+                                scalars, seed)
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    slots[index] = cached
+                    continue
+                self.cache_misses += 1
+            pending.append((index, n, m))
+
+        # Stream ``progress`` over the longest completed prefix, so the
+        # callback sees points in grid order even when execution is
+        # out-of-order — identical to what the serial path reports.
+        emitted = [0]
+
+        def emit_ready() -> None:
+            if progress is None:
+                return
+            while emitted[0] < len(slots) and slots[emitted[0]] is not None:
+                progress(slots[emitted[0]])
+                emitted[0] += 1
+
+        emit_ready()
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_serial(pending, slots, config, kernel_name,
+                                 variant, scalars, seed, verify, emit_ready)
+            else:
+                self._run_parallel(pending, slots, config, kernel_name,
+                                   variant, scalars, seed, verify, emit_ready)
+            if self.cache is not None:
+                for index, _n, _m in pending:
+                    self.cache.put(keys[index], slots[index])
+
+        points = typing.cast(typing.List[SweepPoint], slots)
+        return SweepResult(points=tuple(points))
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending, slots, config, kernel_name, variant,
+                    scalars, seed, verify, emit_ready) -> None:
+        for index, n, m in pending:
+            slots[index] = measure_point(config, kernel_name, n, m,
+                                         variant, scalars, seed, verify)
+            self.simulated_points += 1
+            emit_ready()
+
+    def _run_parallel(self, pending, slots, config, kernel_name, variant,
+                      scalars, seed, verify, emit_ready) -> None:
+        workers = min(self.jobs, len(pending))
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, -(-len(pending) // (workers * 4)))
+        chunks = [pending[i:i + chunk]
+                  for i in range(0, len(pending), chunk)]
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers) as pool:
+            futures = {
+                pool.submit(_measure_chunk, config, kernel_name,
+                            [(n, m) for _i, n, m in part], variant,
+                            scalars, seed, verify): part
+                for part in chunks
+            }
+            for future in concurrent.futures.as_completed(futures):
+                part = futures[future]
+                for (index, _n, _m), point in zip(part, future.result()):
+                    slots[index] = point
+                    self.simulated_points += 1
+                emit_ready()

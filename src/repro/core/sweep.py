@@ -13,10 +13,11 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.core.offload import offload
 from repro.errors import OffloadError
 from repro.soc.config import SoCConfig
-from repro.soc.manticore import ManticoreSystem
+
+if typing.TYPE_CHECKING:
+    from repro.core.cache import SweepCache
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,17 +84,39 @@ class SweepResult:
             result[point.num_clusters] = point.runtime_cycles
         return dict(sorted(result.items()))
 
+    def _memo(self, slot: str, compute: typing.Callable[[], typing.Any]
+              ) -> typing.Any:
+        """Lazily cache a derived view (the points tuple is immutable).
+
+        The dataclass is frozen, so cached views go through
+        ``object.__setattr__``; they are plain derived data, never part
+        of equality or ``repr``.
+        """
+        cached = self.__dict__.get(slot)
+        if cached is None:
+            cached = compute()
+            object.__setattr__(self, slot, cached)
+        return cached
+
     def runtime_grid(self) -> typing.Dict[typing.Tuple[int, int], int]:
-        """``{(M, N): cycles}`` over the whole (filtered) result."""
-        grid: typing.Dict[typing.Tuple[int, int], int] = {}
-        for point in self.points:
-            key = (point.num_clusters, point.n)
-            if key in grid:
-                raise OffloadError(
-                    f"duplicate grid point {key}; filter by kernel/variant "
-                    "first")
-            grid[key] = point.runtime_cycles
-        return grid
+        """``{(M, N): cycles}`` over the whole (filtered) result.
+
+        Memoized: large analyses (model fits, speedup grids) call this
+        repeatedly; the scan runs once and callers get a fresh copy.
+        """
+
+        def compute() -> typing.Dict[typing.Tuple[int, int], int]:
+            grid: typing.Dict[typing.Tuple[int, int], int] = {}
+            for point in self.points:
+                key = (point.num_clusters, point.n)
+                if key in grid:
+                    raise OffloadError(
+                        f"duplicate grid point {key}; filter by "
+                        "kernel/variant first")
+                grid[key] = point.runtime_cycles
+            return grid
+
+        return dict(self._memo("_runtime_grid", compute))
 
     def triples(self) -> typing.List[typing.Tuple[int, int, float]]:
         """``(M, N, cycles)`` triples for :meth:`OffloadModel.fit`."""
@@ -101,10 +124,13 @@ class SweepResult:
                 for p in self.points]
 
     def n_values(self) -> typing.List[int]:
-        return sorted({p.n for p in self.points})
+        return list(self._memo(
+            "_n_values", lambda: tuple(sorted({p.n for p in self.points}))))
 
     def m_values(self) -> typing.List[int]:
-        return sorted({p.num_clusters for p in self.points})
+        return list(self._memo(
+            "_m_values",
+            lambda: tuple(sorted({p.num_clusters for p in self.points}))))
 
     def speedup_grid(self, baseline: "SweepResult"
                      ) -> typing.Dict[typing.Tuple[int, int], float]:
@@ -130,9 +156,15 @@ def sweep(config: SoCConfig, kernel_name: str,
           variant: str = "auto",
           scalars: typing.Optional[typing.Mapping[str, float]] = None,
           seed: int = 0, verify: bool = True,
-          progress: typing.Optional[typing.Callable[[SweepPoint], None]] = None
+          progress: typing.Optional[typing.Callable[[SweepPoint], None]] = None,
+          jobs: int = 1, cache: typing.Optional["SweepCache"] = None
           ) -> SweepResult:
     """Measure a full (N, M) grid, one fresh SoC per point.
+
+    Every grid point is independent, so execution can fan out over
+    worker processes; results come back in grid order (N-major, then M)
+    regardless of ``jobs``, bit-identical to the serial path.  See
+    :class:`repro.core.executor.SweepExecutor` for the machinery.
 
     Parameters
     ----------
@@ -143,27 +175,18 @@ def sweep(config: SoCConfig, kernel_name: str,
         Runtime variant for every point (``auto`` = all hardware
         features present in ``config``).
     progress:
-        Optional callback invoked after each measured point (used by
-        the CLI to stream results).
+        Optional callback invoked after each measured point, in grid
+        order (used by the CLI to stream results).
+    jobs:
+        Worker processes: ``1`` (default) runs serially in-process,
+        ``0`` uses every core, ``k > 1`` uses ``k`` workers.
+    cache:
+        Optional :class:`~repro.core.cache.SweepCache`; previously
+        measured points are replayed from it instead of re-simulated.
     """
-    if not n_values or not m_values:
-        raise OffloadError("sweep needs at least one N and one M value")
-    bad = [m for m in m_values if m > config.num_clusters]
-    if bad:
-        raise OffloadError(
-            f"m_values {bad} exceed the fabric size {config.num_clusters}")
-    points = []
-    for n in n_values:
-        for m in m_values:
-            system = ManticoreSystem(config)
-            result = offload(system, kernel_name, n, m, scalars=scalars,
-                             variant=variant, seed=seed, verify=verify)
-            point = SweepPoint(
-                kernel_name=kernel_name, n=n, num_clusters=m,
-                variant=result.variant,
-                runtime_cycles=result.runtime_cycles,
-                phases=result.trace.phase_summary())
-            points.append(point)
-            if progress is not None:
-                progress(point)
-    return SweepResult(points=tuple(points))
+    from repro.core.executor import SweepExecutor
+
+    executor = SweepExecutor(jobs=jobs, cache=cache)
+    return executor.run(config, kernel_name, n_values, m_values,
+                        variant=variant, scalars=scalars, seed=seed,
+                        verify=verify, progress=progress)

@@ -65,8 +65,11 @@ class Event:
         self._triggered = True
         self._value = value
         callbacks, self._callbacks = self._callbacks, []
+        # Triggering is the kernel's hottest schedule site; append to the
+        # zero-delay FIFO directly (same ordering as sim.schedule(0, ...)).
+        append = self.sim._now_queue.append
         for callback in callbacks:
-            self.sim.schedule(0, callback, self)
+            append((callback, self))
         return self
 
     def add_callback(self, callback) -> None:

@@ -34,7 +34,7 @@ class Process(Event):
     directly.
     """
 
-    __slots__ = ("generator", "_failure")
+    __slots__ = ("generator", "_send", "_failure")
 
     def __init__(self, sim: "Simulator", generator: typing.Generator,
                  name: str = "") -> None:
@@ -44,6 +44,7 @@ class Process(Event):
             )
         super().__init__(sim, name=name)
         self.generator = generator
+        self._send = generator.send
         self._failure: typing.Optional[BaseException] = None
         # Kick off on the current cycle, through the queue for determinism.
         sim.schedule(0, self._resume, None)
@@ -52,10 +53,14 @@ class Process(Event):
     # Scheduling internals
     # ------------------------------------------------------------------
     def _resume(self, event: typing.Optional[Event]) -> None:
-        """Advance the body one step, handing it the wake-up value."""
-        value = event.value if isinstance(event, Event) else None
+        """Advance the body one step, handing it the wake-up value.
+
+        This runs once per yield of every process in the system — the
+        per-yield hot path.  The wake-up argument is always either
+        ``None`` (delay expiry) or the :class:`Event` that fired.
+        """
         try:
-            target = self.generator.send(value)
+            target = self._send(None if event is None else event._value)
         except StopIteration as stop:
             self.trigger(stop.value)
             return
@@ -64,6 +69,18 @@ class Process(Event):
             # never passes silently.
             self._failure = exc
             raise
+        # Integer delays are the most common waitable; test them first
+        # with an exact type check (bool is not a sane delay anyway).
+        if type(target) is int:
+            if target < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {target}"
+                )
+            self.sim.schedule(target, self._resume, None)
+            return
+        if isinstance(target, Event):
+            target.add_callback(self._resume)
+            return
         self._wait_on(target)
 
     def _wait_on(self, target: Waitable) -> None:

@@ -23,6 +23,16 @@ if typing.TYPE_CHECKING:
     from repro.sim.kernel import Simulator
 
 
+def _fire_completion(event: Event) -> None:
+    """Trigger a completion event with the current cycle as its value.
+
+    Module-level so :meth:`SerialResource.request` allocates no closure
+    per request — requests are one of the hottest allocation sites in a
+    full-system simulation.
+    """
+    event.trigger(event.sim.now)
+
+
 class SerialResource:
     """A resource that serves one request at a time, FIFO.
 
@@ -55,13 +65,17 @@ class SerialResource:
             raise SimulationError(
                 f"{self.name}: negative service time {cycles}"
             )
-        start = max(self.sim.now, self._next_free)
+        now = self.sim.now
+        start = max(now, self._next_free)
         finish = start + cycles
         self._next_free = finish
         self._busy_cycles += cycles
         self._requests += 1
-        done = self.sim.event(name=f"{self.name}-done@{finish}")
-        self.sim.schedule(finish - self.sim.now, lambda _arg: done.trigger(finish), None)
+        done = Event(self.sim, name=f"{self.name}-done@{finish}")
+        # The event fires exactly at ``finish``, so triggering with the
+        # then-current cycle carries the completion time without a
+        # per-request closure capturing ``finish``.
+        self.sim.schedule(finish - now, _fire_completion, done)
         return done
 
     def acquire(self, cycles: int) -> typing.Generator:

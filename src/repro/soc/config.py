@@ -23,6 +23,7 @@ configurations Fig. 1 compares.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 from repro.errors import ConfigError
 from repro.noc.xbar import NocParams
@@ -192,6 +193,20 @@ class SoCConfig:
             multicast_tree_latency=self.noc_multicast_tree_latency,
             amo_service_cycles=self.noc_amo_service_cycles,
         )
+
+    def digest(self) -> str:
+        """Stable content hash of every knob in this configuration.
+
+        Two configs share a digest iff every field is equal, so the
+        digest is a safe cache key component: any microarchitectural
+        change (and therefore any change in simulated timing) changes
+        it.  Fields are serialized by name, so reordering the dataclass
+        does not invalidate caches — but adding a knob does, which is
+        exactly right because a new knob means new timing behaviour.
+        """
+        fields = dataclasses.asdict(self)
+        text = ",".join(f"{name}={fields[name]!r}" for name in sorted(fields))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -1,0 +1,186 @@
+"""Unit tests for the sweep executor and the content-addressed cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cache import SweepCache, point_key
+from repro.core.executor import SweepExecutor, resolve_jobs
+from repro.core.sweep import sweep
+from repro.errors import OffloadError
+from repro.soc.config import SoCConfig
+
+
+CFG = SoCConfig.extended(num_clusters=8)
+N_VALUES = [64, 128]
+M_VALUES = [1, 4]
+
+
+def run(executor, **kwargs):
+    kwargs.setdefault("n_values", N_VALUES)
+    kwargs.setdefault("m_values", M_VALUES)
+    return executor.run(CFG, "daxpy", **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Worker-count policy and validation
+# ----------------------------------------------------------------------
+def test_resolve_jobs_policy():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    with pytest.raises(OffloadError):
+        resolve_jobs(-1)
+
+
+def test_chunk_size_validated():
+    with pytest.raises(OffloadError):
+        SweepExecutor(chunk_size=0)
+
+
+def test_executor_validates_grid_like_sweep():
+    executor = SweepExecutor()
+    with pytest.raises(OffloadError):
+        executor.run(CFG, "daxpy", [], [1])
+    with pytest.raises(OffloadError):
+        executor.run(CFG, "daxpy", [64], [])
+    with pytest.raises(OffloadError):
+        executor.run(CFG, "daxpy", [64], [16])  # wider than the fabric
+
+
+# ----------------------------------------------------------------------
+# Determinism: parallel output is the serial output
+# ----------------------------------------------------------------------
+def test_parallel_matches_serial_bit_for_bit():
+    serial = run(SweepExecutor(jobs=1))
+    parallel = run(SweepExecutor(jobs=2, chunk_size=1))
+    assert parallel == serial
+    assert [p.runtime_cycles for p in parallel] == \
+        [p.runtime_cycles for p in serial]
+    assert [dict(p.phases) for p in parallel] == \
+        [dict(p.phases) for p in serial]
+
+
+def test_parallel_progress_streams_in_grid_order():
+    seen = []
+    run(SweepExecutor(jobs=2, chunk_size=1), progress=seen.append)
+    assert [(p.n, p.num_clusters) for p in seen] == \
+        [(n, m) for n in N_VALUES for m in M_VALUES]
+
+
+def test_sweep_function_accepts_jobs():
+    assert sweep(CFG, "daxpy", N_VALUES, M_VALUES, jobs=2) == \
+        sweep(CFG, "daxpy", N_VALUES, M_VALUES)
+
+
+# ----------------------------------------------------------------------
+# Cache: hits, misses, and invalidation
+# ----------------------------------------------------------------------
+def test_second_identical_sweep_simulates_nothing():
+    executor = SweepExecutor(cache=SweepCache())
+    first = run(executor)
+    assert executor.cache_hits == 0
+    assert executor.cache_misses == len(first)
+    assert executor.simulated_points == len(first)
+    second = run(executor)
+    assert second == first
+    assert executor.cache_hits == len(first)
+    assert executor.cache_misses == 0
+    assert executor.simulated_points == 0
+
+
+def test_cached_points_stream_progress_in_grid_order():
+    executor = SweepExecutor(cache=SweepCache())
+    run(executor)
+    seen = []
+    run(executor, progress=seen.append)
+    assert [(p.n, p.num_clusters) for p in seen] == \
+        [(n, m) for n in N_VALUES for m in M_VALUES]
+
+
+def test_config_change_misses():
+    cache = SweepCache()
+    run(SweepExecutor(cache=cache))
+    retuned = SweepExecutor(cache=cache)
+    retuned.run(SoCConfig.extended(num_clusters=8, noc_store_occupancy=4),
+                "daxpy", N_VALUES, M_VALUES)
+    assert retuned.cache_hits == 0
+    assert retuned.simulated_points == len(N_VALUES) * len(M_VALUES)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"seed": 1},
+    {"variant": "baseline"},
+    {"scalars": {"a": 2.0}},
+])
+def test_job_coordinate_changes_miss(kwargs):
+    cache = SweepCache()
+    run(SweepExecutor(cache=cache))
+    executor = SweepExecutor(cache=cache)
+    run(executor, **kwargs)
+    assert executor.cache_hits == 0
+
+
+def test_point_key_is_stable_and_sensitive():
+    key = point_key(CFG, "daxpy", 64, 4, "auto", None, 0)
+    assert key == point_key(CFG, "daxpy", 64, 4, "auto", None, 0)
+    assert key != point_key(CFG, "daxpy", 64, 4, "auto", None, 1)
+    assert key != point_key(CFG, "daxpy", 128, 4, "auto", None, 0)
+    assert key != point_key(CFG.with_features(multicast=False, hw_sync=True),
+                            "daxpy", 64, 4, "auto", None, 0)
+
+
+def test_config_digest_reflects_every_knob():
+    assert CFG.digest() == SoCConfig.extended(num_clusters=8).digest()
+    assert CFG.digest() != SoCConfig.baseline(num_clusters=8).digest()
+    assert CFG.digest() != \
+        SoCConfig.extended(num_clusters=8, dma_setup_cycles=17).digest()
+
+
+# ----------------------------------------------------------------------
+# Cache: the on-disk layer
+# ----------------------------------------------------------------------
+def test_disk_cache_survives_the_process(tmp_path):
+    directory = str(tmp_path / "cache")
+    first = run(SweepExecutor(cache=SweepCache(directory)))
+    reloaded = SweepExecutor(cache=SweepCache(directory))
+    second = run(reloaded)
+    assert second == first
+    assert reloaded.simulated_points == 0
+    assert reloaded.cache_hits == len(first)
+
+
+def test_disk_cache_shared_by_parallel_workers(tmp_path):
+    directory = str(tmp_path / "cache")
+    first = run(SweepExecutor(jobs=2, cache=SweepCache(directory)))
+    reloaded = SweepExecutor(jobs=2, cache=SweepCache(directory))
+    assert run(reloaded) == first
+    assert reloaded.simulated_points == 0
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    directory = str(tmp_path / "cache")
+    run(SweepExecutor(cache=SweepCache(directory)))
+    for name in os.listdir(directory):
+        with open(os.path.join(directory, name), "w") as handle:
+            handle.write("{not json")
+    recovered = SweepExecutor(cache=SweepCache(directory))
+    result = run(recovered)
+    assert recovered.cache_hits == 0
+    assert recovered.simulated_points == len(result)
+
+
+def test_stale_schema_is_a_miss(tmp_path):
+    directory = str(tmp_path / "cache")
+    run(SweepExecutor(cache=SweepCache(directory)))
+    for name in os.listdir(directory):
+        path = os.path.join(directory, name)
+        with open(path) as handle:
+            record = json.load(handle)
+        record["schema"] = -1
+        with open(path, "w") as handle:
+            json.dump(record, handle)
+    recovered = SweepExecutor(cache=SweepCache(directory))
+    run(recovered)
+    assert recovered.cache_hits == 0
