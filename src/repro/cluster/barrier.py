@@ -58,6 +58,19 @@ class Barrier:
             yield release
         return generation
 
+    def reset(self) -> None:
+        """Restore boot state: generation zero, nobody waiting.
+
+        Only legal when the current generation has no arrivals (every
+        prior generation fully crossed).
+        """
+        if self._arrived:
+            raise SimulationError(
+                f"{self.name}: cannot reset with {self._arrived} "
+                "parties waiting")
+        self._generation = 0
+        self._release = self.sim.event(name=f"{self.name}.gen0")
+
     @property
     def generation(self) -> int:
         """Number of fully-crossed generations so far."""

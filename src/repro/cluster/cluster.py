@@ -80,6 +80,23 @@ class Cluster:
                 serve_jobs(self), name=f"cluster{self.cluster_id}.dm")
         return self._dm_process
 
+    def reset(self) -> None:
+        """Restore boot state after a drained run.
+
+        The DM core's :func:`serve_jobs` process survives: parked on its
+        mailbox event it is indistinguishable from a freshly-started
+        loop, so it is *not* respawned (see
+        :meth:`repro.soc.manticore.ManticoreSystem.reset` for the
+        system-wide invariants).
+        """
+        self.jobs_completed = 0
+        self.mailbox.reset()
+        self.dma.reset()
+        self.barrier.reset()
+        for worker in self.workers:
+            worker.reset()
+        self.tcdm.reset()
+
     @property
     def num_workers(self) -> int:
         return len(self.workers)

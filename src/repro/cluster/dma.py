@@ -40,6 +40,13 @@ class DmaEngine:
         self.bytes_in = 0
         self.bytes_out = 0
 
+    def reset(self) -> None:
+        """Zero the statistics counters (boot state)."""
+        self.transfers_in = 0
+        self.transfers_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
     def transfer_in(self, nbytes: int) -> typing.Generator:
         """Stage ``nbytes`` from main memory into the TCDM.
 

@@ -57,6 +57,16 @@ class Mailbox(MmioDevice):
             return
         super().write_register(offset, value)
 
+    def reset(self) -> None:
+        """Restore boot state: clear the latch and statistics.
+
+        Waiters are deliberately *kept*: after a drained run the DM core
+        is parked in :meth:`wait_job` exactly as it is right after boot,
+        and dropping its event would orphan the process.
+        """
+        self.job_ptr = 0
+        self.jobs_received = 0
+
     # ------------------------------------------------------------------
     # Device-side interface
     # ------------------------------------------------------------------

@@ -38,13 +38,21 @@ class WorkerCore:
         Empty sub-slices still pay the wake latency (the core is
         released from the barrier and immediately re-parks).
         """
-        if self.wake_latency:
-            yield self.wake_latency
         cycles = kernel.compute_cycles(sub_slice.elements, n)
         self.jobs_executed += 1
         self.busy_cycles += cycles
-        if cycles:
-            yield cycles
+        # One scheduler event instead of wake-then-compute: the core
+        # resumes at the identical cycle, and nothing can observe the
+        # intermediate wake instant (the core touches no shared
+        # resource between waking and finishing its loop).
+        delay = self.wake_latency + cycles
+        if delay:
+            yield delay
+
+    def reset(self) -> None:
+        """Zero the statistics counters (boot state)."""
+        self.jobs_executed = 0
+        self.busy_cycles = 0
 
 
 def split_among_cores(work: WorkSlice, num_cores: int) -> typing.List[WorkSlice]:

@@ -1,9 +1,9 @@
 """Parallel, cached execution of measurement sweeps.
 
-A sweep is embarrassingly parallel: every grid point runs on a *fresh*
-:class:`~repro.soc.manticore.ManticoreSystem`, so points share no state
-and any execution order yields the same measurements.
-:class:`SweepExecutor` exploits that in two ways:
+A sweep is embarrassingly parallel: every grid point runs on a
+boot-state :class:`~repro.soc.manticore.ManticoreSystem`, so points
+share no state and any execution order yields the same measurements.
+:class:`SweepExecutor` exploits that in three ways:
 
 - **fan-out** — grid points are packed into contiguous chunks and
   distributed over a :class:`concurrent.futures.ProcessPoolExecutor`
@@ -11,7 +11,13 @@ and any execution order yields the same measurements.
 - **memoization** — an optional :class:`~repro.core.cache.SweepCache`
   is consulted first, keyed on the content address of each point
   (config digest, kernel, N, M, variant, scalars, seed), so repeated
-  sweeps skip simulation entirely.
+  sweeps skip simulation entirely;
+- **instance reuse** — each process leases systems from a local
+  :class:`~repro.soc.pool.SystemPool`, so successive same-config
+  points reuse one constructed SoC via the bit-identical
+  :meth:`~repro.soc.manticore.ManticoreSystem.reset` instead of paying
+  construction per point (disable with ``reuse=False`` or the
+  ``REPRO_FRESH_SYSTEMS`` environment variable).
 
 Determinism guarantee
 ---------------------
@@ -35,6 +41,7 @@ from repro.core.sweep import SweepPoint, SweepResult
 from repro.errors import OffloadError
 from repro.soc.config import SoCConfig
 from repro.soc.manticore import ManticoreSystem
+from repro.soc.pool import SystemPool
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -46,14 +53,32 @@ def resolve_jobs(jobs: int) -> int:
     return jobs
 
 
+#: Process-local system pool: the main process and each sweep worker
+#: keep one, so a chunk of same-config points constructs a single SoC
+#: (ProcessPoolExecutor workers never share module state).
+_SYSTEM_POOL = SystemPool()
+
+
 def measure_point(config: SoCConfig, kernel_name: str, n: int, m: int,
                   variant: str,
                   scalars: typing.Optional[typing.Mapping[str, float]],
-                  seed: int, verify: bool) -> SweepPoint:
-    """Simulate one grid point on a fresh SoC and summarize it."""
-    system = ManticoreSystem(config)
-    result = offload(system, kernel_name, n, m, scalars=scalars,
-                     variant=variant, seed=seed, verify=verify)
+                  seed: int, verify: bool, reuse: bool = True) -> SweepPoint:
+    """Simulate one grid point on a boot-state SoC and summarize it.
+
+    With ``reuse`` (the default) the SoC is leased from the process's
+    :class:`~repro.soc.pool.SystemPool` — measurements are bit-identical
+    to a fresh construction (property-tested), just cheaper.  Pass
+    ``reuse=False`` or set ``REPRO_FRESH_SYSTEMS`` to force fresh
+    construction per point.
+    """
+    if reuse:
+        with _SYSTEM_POOL.lease(config) as system:
+            result = offload(system, kernel_name, n, m, scalars=scalars,
+                             variant=variant, seed=seed, verify=verify)
+    else:
+        system = ManticoreSystem(config)
+        result = offload(system, kernel_name, n, m, scalars=scalars,
+                         variant=variant, seed=seed, verify=verify)
     return SweepPoint(
         kernel_name=kernel_name, n=n, num_clusters=m,
         variant=result.variant, runtime_cycles=result.runtime_cycles,
@@ -64,10 +89,11 @@ def _measure_chunk(config: SoCConfig, kernel_name: str,
                    coords: typing.Sequence[typing.Tuple[int, int]],
                    variant: str,
                    scalars: typing.Optional[typing.Mapping[str, float]],
-                   seed: int, verify: bool) -> typing.List[SweepPoint]:
+                   seed: int, verify: bool,
+                   reuse: bool = True) -> typing.List[SweepPoint]:
     """Worker-process entry point: simulate a chunk of (N, M) coords."""
     return [measure_point(config, kernel_name, n, m, variant, scalars,
-                          seed, verify)
+                          seed, verify, reuse=reuse)
             for n, m in coords]
 
 
@@ -98,12 +124,16 @@ class SweepExecutor:
 
     def __init__(self, jobs: int = 1,
                  cache: typing.Optional[SweepCache] = None,
-                 chunk_size: typing.Optional[int] = None) -> None:
+                 chunk_size: typing.Optional[int] = None,
+                 reuse: bool = True) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise OffloadError(f"chunk_size must be >= 1, got {chunk_size}")
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.chunk_size = chunk_size
+        #: Lease SoC instances from the per-process SystemPool instead
+        #: of constructing one per point (bit-identical, faster).
+        self.reuse = reuse
         self.cache_hits = 0
         self.cache_misses = 0
         self.simulated_points = 0
@@ -182,7 +212,8 @@ class SweepExecutor:
                     scalars, seed, verify, emit_ready) -> None:
         for index, n, m in pending:
             slots[index] = measure_point(config, kernel_name, n, m,
-                                         variant, scalars, seed, verify)
+                                         variant, scalars, seed, verify,
+                                         reuse=self.reuse)
             self.simulated_points += 1
             emit_ready()
 
@@ -199,7 +230,7 @@ class SweepExecutor:
             futures = {
                 pool.submit(_measure_chunk, config, kernel_name,
                             [(n, m) for _i, n, m in part], variant,
-                            scalars, seed, verify): part
+                            scalars, seed, verify, self.reuse): part
                 for part in chunks
             }
             for future in concurrent.futures.as_completed(futures):

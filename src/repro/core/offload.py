@@ -15,7 +15,7 @@ import typing
 import numpy
 
 from repro import abi
-from repro.errors import OffloadError
+from repro.errors import CycleLimitError, DeadlockError, OffloadError
 from repro.kernels.base import Kernel, split_range
 from repro.kernels.registry import get_kernel
 from repro.runtime.api import make_runtime
@@ -299,16 +299,16 @@ def _prepare_inputs(kernel: Kernel, n: int,
 
 def _run_to_completion(system: ManticoreSystem, process,
                        max_cycles: int) -> None:
-    sim = system.sim
-    while not process.triggered:
-        if sim.now > max_cycles:
-            raise OffloadError(
-                f"offload exceeded {max_cycles} cycles; the completion "
-                "protocol likely deadlocked")
-        if not sim.step():
-            raise OffloadError(
-                "simulation ran out of events before the offload "
-                "completed (lost doorbell or completion signal)")
+    try:
+        system.sim.run(until=process, max_cycles=max_cycles)
+    except CycleLimitError:
+        raise OffloadError(
+            f"offload exceeded {max_cycles} cycles; the completion "
+            "protocol likely deadlocked") from None
+    except DeadlockError:
+        raise OffloadError(
+            "simulation ran out of events before the offload "
+            "completed (lost doorbell or completion signal)") from None
 
 
 def _verify_outputs(kernel: Kernel, n: int, num_clusters: int,

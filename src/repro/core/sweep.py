@@ -3,9 +3,9 @@
 Every figure in the paper is a view over such a grid: Fig. 1 (left) is
 ``runtime vs M`` at fixed N for two variants, Fig. 1 (right) is the
 ratio of two grids, and the MAPE table validates a model against one.
-:func:`sweep` runs one simulation per grid point on a *fresh* SoC (no
-state leaks between points) and returns a queryable
-:class:`SweepResult`.
+:func:`sweep` runs one simulation per grid point on a boot-state SoC
+(pooled instances are reset bit-identically between points, so no state
+leaks) and returns a queryable :class:`SweepResult`.
 """
 
 from __future__ import annotations
@@ -157,9 +157,9 @@ def sweep(config: SoCConfig, kernel_name: str,
           scalars: typing.Optional[typing.Mapping[str, float]] = None,
           seed: int = 0, verify: bool = True,
           progress: typing.Optional[typing.Callable[[SweepPoint], None]] = None,
-          jobs: int = 1, cache: typing.Optional["SweepCache"] = None
-          ) -> SweepResult:
-    """Measure a full (N, M) grid, one fresh SoC per point.
+          jobs: int = 1, cache: typing.Optional["SweepCache"] = None,
+          reuse: bool = True) -> SweepResult:
+    """Measure a full (N, M) grid, one boot-state SoC per point.
 
     Every grid point is independent, so execution can fan out over
     worker processes; results come back in grid order (N-major, then M)
@@ -183,10 +183,15 @@ def sweep(config: SoCConfig, kernel_name: str,
     cache:
         Optional :class:`~repro.core.cache.SweepCache`; previously
         measured points are replayed from it instead of re-simulated.
+    reuse:
+        Lease SoC instances from a per-process
+        :class:`~repro.soc.pool.SystemPool` (default) instead of
+        constructing one per point; measurements are bit-identical
+        either way.  ``REPRO_FRESH_SYSTEMS`` overrides to fresh.
     """
     from repro.core.executor import SweepExecutor
 
-    executor = SweepExecutor(jobs=jobs, cache=cache)
+    executor = SweepExecutor(jobs=jobs, cache=cache, reuse=reuse)
     return executor.run(config, kernel_name, n_values, m_values,
                         variant=variant, scalars=scalars, seed=seed,
                         verify=verify, progress=progress)

@@ -20,6 +20,10 @@ class DeadlockError(SimulationError):
     """The simulation ran out of events while processes were still waiting."""
 
 
+class CycleLimitError(SimulationError):
+    """A bounded run would have advanced past its cycle budget."""
+
+
 class MemoryError_(ReproError):
     """A memory access fell outside a mapped region or was malformed.
 

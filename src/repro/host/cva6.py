@@ -101,6 +101,12 @@ class HostCore:
         self.trace.record(self.name, "wfi_exit", line)
         return None
 
+    def reset(self) -> None:
+        """Zero the statistics counters (boot state)."""
+        self.retired_operations = 0
+        self.slept_cycles = 0
+        self.lsu.reset()
+
     # ------------------------------------------------------------------
     # Program execution
     # ------------------------------------------------------------------

@@ -78,6 +78,22 @@ class InterruptController:
         self._pending[name] = False
         return self.sim.now - started
 
+    def reset(self) -> None:
+        """Restore boot state: no line pending, zero raise counts.
+
+        Registered lines survive (the devices driving them persist too).
+        Raises if any process is still parked in :meth:`wait` — reset is
+        only legal on a drained system.
+        """
+        for name, waiters in self._waiters.items():
+            if waiters:
+                raise SimulationError(
+                    f"cannot reset: {len(waiters)} waiter(s) parked on "
+                    f"interrupt line {name!r}")
+        for name in self._pending:
+            self._pending[name] = False
+            self._raise_counts[name] = 0
+
     def _check_line(self, name: str) -> None:
         if name not in self._pending:
             raise SimulationError(f"unknown interrupt line {name!r}")

@@ -32,6 +32,12 @@ class LoadStoreUnit:
         self.multicast_stores_issued = 0
         self.loads_issued = 0
 
+    def reset(self) -> None:
+        """Zero the issue counters (boot state)."""
+        self.stores_issued = 0
+        self.multicast_stores_issued = 0
+        self.loads_issued = 0
+
     def store(self, addr: int, value: int) -> WriteHandle:
         """Issue a unicast store."""
         self.stores_issued += 1

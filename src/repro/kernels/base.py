@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import functools
 import math
 import typing
 
@@ -58,18 +59,8 @@ class WorkSlice:
         return self.hi == self.lo
 
 
-def split_range(n: int, parts: int) -> typing.List[WorkSlice]:
-    """Split ``range(n)`` into ``parts`` contiguous, balanced slices.
-
-    The first ``n % parts`` slices get one extra element, matching the
-    static block schedule the device runtime uses.  Empty slices are
-    legal (more clusters than work items) and clusters receiving one
-    simply report completion immediately.
-    """
-    if n < 0:
-        raise KernelError(f"cannot split a negative range ({n})")
-    if parts <= 0:
-        raise KernelError(f"cannot split into {parts} parts")
+@functools.lru_cache(maxsize=4096)
+def _split_range_cached(n: int, parts: int) -> typing.Tuple[WorkSlice, ...]:
     base, extra = divmod(n, parts)
     slices = []
     lo = 0
@@ -77,7 +68,26 @@ def split_range(n: int, parts: int) -> typing.List[WorkSlice]:
         hi = lo + base + (1 if index < extra else 0)
         slices.append(WorkSlice(index=index, lo=lo, hi=hi))
         lo = hi
-    return slices
+    return tuple(slices)
+
+
+def split_range(n: int, parts: int) -> typing.List[WorkSlice]:
+    """Split ``range(n)`` into ``parts`` contiguous, balanced slices.
+
+    The first ``n % parts`` slices get one extra element, matching the
+    static block schedule the device runtime uses.  Empty slices are
+    legal (more clusters than work items) and clusters receiving one
+    simply report completion immediately.
+
+    Splits are memoized: every cluster recomputes the same block
+    schedule for every job of a sweep, and :class:`WorkSlice` is frozen
+    so cached instances are safely shared.
+    """
+    if n < 0:
+        raise KernelError(f"cannot split a negative range ({n})")
+    if parts <= 0:
+        raise KernelError(f"cannot split into {parts} parts")
+    return list(_split_range_cached(n, parts))
 
 
 @dataclasses.dataclass(frozen=True)

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
+import os
 import typing
 
 from repro.errors import MemoryError_
 from repro.mem.memory import MainMemory
+
+#: Environment variable: when set (non-empty) at map construction time,
+#: ``region_at`` falls back to the unsorted linear scan (and port
+#: routers bypass their hit slots).  Routing is functional, so this is
+#: purely an A/B lever for benchmarking the bisect + hit-cache routing
+#: against the original implementation; results are identical.
+LINEAR_ROUTING_ENV = "REPRO_LINEAR_ROUTING"
 
 
 class MmioDevice:
@@ -39,22 +48,24 @@ class Region:
     ``target`` is either a :class:`~repro.mem.memory.MainMemory`-like
     storage (word access by absolute address) or an :class:`MmioDevice`
     (register access by offset).
+
+    ``end`` is stored at construction rather than recomputed: containment
+    checks run once per routed word access, which makes it one of the
+    hottest attribute reads in a full-system simulation.
     """
 
     name: str
     base: int
     size: int
     target: typing.Union[MainMemory, MmioDevice]
+    end: int = dataclasses.field(init=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:
             raise MemoryError_(f"region {self.name!r} has size {self.size}")
         if self.base < 0:
             raise MemoryError_(f"region {self.name!r} has negative base")
-
-    @property
-    def end(self) -> int:
-        return self.base + self.size
+        object.__setattr__(self, "end", self.base + self.size)
 
     def contains(self, addr: int) -> bool:
         return self.base <= addr < self.end
@@ -63,74 +74,55 @@ class Region:
         return self.base < other.end and other.base < self.end
 
 
-class AddressMap:
-    """An ordered, non-overlapping collection of :class:`Region` objects.
+class PortRouter:
+    """A routing handle for one initiator port.
 
-    Lookup is linear over a handful of regions, which profiling shows is
-    never hot: bulk data moves through the DMA engines' block copies,
-    not through per-word map lookups.
+    Wraps an :class:`AddressMap` with a private last-region hit slot:
+    real access streams are overwhelmingly same-region runs (a DM core
+    bursting a descriptor, the host hammering one completion flag), so
+    nearly every lookup resolves with two comparisons instead of a
+    bisect.  Each port gets its own slot so interleaved streams from
+    different initiators cannot thrash a shared one.
     """
 
-    def __init__(self) -> None:
-        self._regions: typing.List[Region] = []
+    __slots__ = ("_map", "_hit")
 
-    def add(self, region: Region) -> Region:
-        """Register a region; rejects overlaps and duplicate names."""
-        for existing in self._regions:
-            if existing.overlaps(region):
-                raise MemoryError_(
-                    f"region {region.name!r} [{region.base:#x}, {region.end:#x}) "
-                    f"overlaps {existing.name!r} "
-                    f"[{existing.base:#x}, {existing.end:#x})"
-                )
-            if existing.name == region.name:
-                raise MemoryError_(f"duplicate region name {region.name!r}")
-        self._regions.append(region)
-        self._regions.sort(key=lambda r: r.base)
-        return region
-
-    def add_device(self, name: str, base: int, size: int,
-                   device: MmioDevice) -> Region:
-        """Convenience wrapper for registering an MMIO device."""
-        return self.add(Region(name=name, base=base, size=size, target=device))
+    def __init__(self, address_map: "AddressMap") -> None:
+        self._map = address_map
+        self._hit: typing.Optional[Region] = None
 
     def region_at(self, addr: int) -> Region:
-        """The region containing ``addr``.
+        """The region containing ``addr`` (port-cached lookup)."""
+        if self._map._linear:
+            return self._map.region_at(addr)
+        hit = self._hit
+        if hit is not None and hit.base <= addr < hit.end:
+            return hit
+        region = self._map.region_at(addr)
+        self._hit = region
+        return region
 
-        Raises
-        ------
-        MemoryError_
-            If the address is unmapped.
-        """
-        for region in self._regions:
-            if region.contains(addr):
-                return region
-        raise MemoryError_(f"access to unmapped address {addr:#x}")
-
-    def region_named(self, name: str) -> Region:
-        """The region with the given name (KeyError if absent)."""
-        for region in self._regions:
-            if region.name == name:
-                return region
-        raise KeyError(f"no region named {name!r}")
-
-    # ------------------------------------------------------------------
-    # Word-level routed access (used by the interconnect at delivery time)
-    # ------------------------------------------------------------------
     def read_word(self, addr: int) -> int:
         """Route a word read to the owning region's target."""
         region = self.region_at(addr)
-        if isinstance(region.target, MmioDevice):
-            return region.target.read_register(addr - region.base)
-        return region.target.read_word(addr)
+        target = region.target
+        if isinstance(target, MmioDevice):
+            return target.read_register(addr - region.base)
+        return target.read_word(addr)
 
     def write_word(self, addr: int, value: int) -> None:
         """Route a word write to the owning region's target."""
         region = self.region_at(addr)
-        if isinstance(region.target, MmioDevice):
-            region.target.write_register(addr - region.base, value)
-            return
-        region.target.write_word(addr, value)
+        target = region.target
+        if isinstance(target, MmioDevice):
+            target.write_register(addr - region.base, value)
+        else:
+            target.write_word(addr, value)
+        watchpoints = self._map._watchpoints
+        if watchpoints:
+            callback = watchpoints.get(addr)
+            if callback is not None:
+                callback(value)
 
     def amo_add(self, addr: int, operand: int) -> int:
         """Atomic fetch-and-add on a word; returns the *old* value.
@@ -142,6 +134,158 @@ class AddressMap:
         old = self.read_word(addr)
         self.write_word(addr, old + operand)
         return old
+
+
+class AddressMap:
+    """An ordered, non-overlapping collection of :class:`Region` objects.
+
+    Regions are kept sorted by base at all times (bisect insertion, so
+    adding N regions costs O(N log N) comparisons instead of a full
+    re-sort and linear overlap scan per add), and lookups bisect over
+    the sorted base array with a one-slot last-hit cache in front.
+    Initiators that issue long same-region access streams should route
+    through a private :meth:`port_router` for an uncontended hit slot.
+    """
+
+    def __init__(self) -> None:
+        self._regions: typing.List[Region] = []
+        self._bases: typing.List[int] = []
+        self._by_name: typing.Dict[str, Region] = {}
+        self._hit: typing.Optional[Region] = None
+        #: addr -> callback(value), invoked after a routed word write
+        #: lands at that exact address (see :meth:`watch`).
+        self._watchpoints: typing.Dict[int, typing.Callable[[int], None]] = {}
+        #: A/B lever (see :data:`LINEAR_ROUTING_ENV`): sampled once at
+        #: construction so the hot path pays one attribute read.
+        self._linear = bool(os.environ.get(LINEAR_ROUTING_ENV))
+        self._router = PortRouter(self)
+
+    def add(self, region: Region) -> Region:
+        """Register a region; rejects overlaps and duplicate names.
+
+        Only the two would-be neighbours in base order need checking:
+        the map is always sorted and non-overlapping, so any overlap
+        must involve an adjacent region.
+        """
+        if self._linear:
+            # A/B reference: the original scan-all-then-resort insert.
+            for existing in self._regions:
+                if existing.overlaps(region):
+                    raise MemoryError_(
+                        f"region {region.name!r} "
+                        f"[{region.base:#x}, {region.end:#x}) "
+                        f"overlaps {existing.name!r} "
+                        f"[{existing.base:#x}, {existing.end:#x})"
+                    )
+                if existing.name == region.name:
+                    raise MemoryError_(
+                        f"duplicate region name {region.name!r}")
+            self._regions.append(region)
+            self._regions.sort(key=lambda r: r.base)
+            self._bases = [r.base for r in self._regions]
+            self._by_name[region.name] = region
+            return region
+        if region.name in self._by_name:
+            raise MemoryError_(f"duplicate region name {region.name!r}")
+        index = bisect.bisect_right(self._bases, region.base)
+        for neighbour_index in (index - 1, index):
+            if 0 <= neighbour_index < len(self._regions):
+                existing = self._regions[neighbour_index]
+                if existing.overlaps(region):
+                    raise MemoryError_(
+                        f"region {region.name!r} "
+                        f"[{region.base:#x}, {region.end:#x}) "
+                        f"overlaps {existing.name!r} "
+                        f"[{existing.base:#x}, {existing.end:#x})"
+                    )
+        self._regions.insert(index, region)
+        self._bases.insert(index, region.base)
+        self._by_name[region.name] = region
+        return region
+
+    def add_device(self, name: str, base: int, size: int,
+                   device: MmioDevice) -> Region:
+        """Convenience wrapper for registering an MMIO device."""
+        return self.add(Region(name=name, base=base, size=size, target=device))
+
+    def port_router(self) -> PortRouter:
+        """A routing handle with a private last-region hit cache."""
+        return PortRouter(self)
+
+    def region_at(self, addr: int) -> Region:
+        """The region containing ``addr``.
+
+        Raises
+        ------
+        MemoryError_
+            If the address is unmapped.
+        """
+        if self._linear:
+            # A/B reference: scan with per-probe end arithmetic, as the
+            # original property-based ``Region.end`` paid.
+            for region in self._regions:
+                if region.base <= addr < region.base + region.size:
+                    return region
+            raise MemoryError_(f"access to unmapped address {addr:#x}")
+        hit = self._hit
+        if hit is not None and hit.base <= addr < hit.end:
+            return hit
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index >= 0:
+            region = self._regions[index]
+            if addr < region.end:
+                self._hit = region
+                return region
+        raise MemoryError_(f"access to unmapped address {addr:#x}")
+
+    def region_named(self, name: str) -> Region:
+        """The region with the given name (KeyError if absent)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no region named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Watchpoints
+    # ------------------------------------------------------------------
+    def watch(self, addr: int,
+              callback: typing.Callable[[int], None]) -> None:
+        """Invoke ``callback(value)`` whenever a routed word write lands
+        at exactly ``addr``.
+
+        One callback per address.  Watchpoints observe writes routed
+        through the map (interconnect deliveries, AMOs); functional
+        block transfers that bypass the map (e.g. DMA ``write_f64``)
+        are not observed.  Used by the offload runtimes to fast-forward
+        the baseline completion-poll loop.
+        """
+        if addr in self._watchpoints:
+            raise MemoryError_(
+                f"watchpoint already registered at {addr:#x}")
+        self._watchpoints[addr] = callback
+
+    def unwatch(self, addr: int) -> None:
+        """Remove the watchpoint at ``addr`` (no-op if absent)."""
+        self._watchpoints.pop(addr, None)
+
+    def clear_watchpoints(self) -> None:
+        """Drop every watchpoint (system reset)."""
+        self._watchpoints.clear()
+
+    # ------------------------------------------------------------------
+    # Word-level routed access (used by the interconnect at delivery time)
+    # ------------------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        """Route a word read to the owning region's target."""
+        return self._router.read_word(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Route a word write to the owning region's target."""
+        self._router.write_word(addr, value)
+
+    def amo_add(self, addr: int, operand: int) -> int:
+        """Atomic fetch-and-add on a word; returns the *old* value."""
+        return self._router.amo_add(addr, operand)
 
     @property
     def regions(self) -> typing.Tuple[Region, ...]:

@@ -135,9 +135,12 @@ class MainMemory:
             raise MemoryError_(f"alignment must be a power of two, got {align}")
         addr = (self._next_alloc + align - 1) & ~(align - 1)
         if addr + nbytes > self.base + self.size_bytes:
+            padding = addr - self._next_alloc
+            free = self.base + self.size_bytes - addr
             raise MemoryError_(
-                f"out of memory: {nbytes} bytes requested, "
-                f"{self.base + self.size_bytes - self._next_alloc} free"
+                f"out of memory: {nbytes} bytes requested, {free} free "
+                f"after {padding} bytes of alignment padding "
+                f"(align={align})"
             )
         self._next_alloc = addr + nbytes
         return addr
@@ -148,6 +151,19 @@ class MainMemory:
 
     def reset_allocator(self) -> None:
         """Forget all allocations (storage contents are untouched)."""
+        self._next_alloc = self.base
+
+    def reset(self) -> None:
+        """Restore boot state: allocator rewound, contents zeroed.
+
+        Only the allocated prefix is cleared: the bump allocator is
+        monotonic, so every functional write since boot landed below
+        ``_next_alloc``, and zeroing just that prefix is much cheaper
+        than re-zeroing a multi-megabyte array per sweep point.
+        """
+        used = self._next_alloc - self.base
+        if used:
+            self._data[:used] = 0
         self._next_alloc = self.base
 
     @property

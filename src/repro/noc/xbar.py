@@ -98,6 +98,13 @@ class Interconnect:
         ]
         self.amo_port = SerialResource(sim, "noc.amo_port")
         self.transactions: typing.List[Transaction] = []
+        # Per-initiator routing handles: each port keeps its own
+        # last-region hit slot, so one cluster's descriptor burst cannot
+        # evict the host's completion-flag region from a shared cache.
+        self._host_router = address_map.port_router()
+        self._cluster_routers = [
+            address_map.port_router() for _ in range(num_clusters)
+        ]
 
     # ------------------------------------------------------------------
     # Host-initiated traffic
@@ -106,7 +113,8 @@ class Interconnect:
         """A host store to one target; see :class:`WriteHandle`."""
         self._log(TransactionKind.WRITE, "host", (addr,), value)
         return self._write(self.host_port, self.params.store_occupancy,
-                           self.params.request_latency, (addr,), value)
+                           self.params.request_latency, (addr,), value,
+                           self._host_router)
 
     def host_multicast_write(self, addresses: typing.Sequence[int],
                              value: int) -> WriteHandle:
@@ -126,12 +134,13 @@ class Interconnect:
         self._log(TransactionKind.MULTICAST_WRITE, "host", addresses, value)
         latency = self.params.request_latency + self.params.multicast_tree_latency
         return self._write(self.host_port, self.params.store_occupancy,
-                           latency, addresses, value)
+                           latency, addresses, value, self._host_router)
 
     def host_read(self, addr: int) -> Event:
         """A host load; the returned event's value is the data."""
         self._log(TransactionKind.READ, "host", (addr,), None)
-        return self._read(self.host_port, self.params.load_occupancy, addr)
+        return self._read(self.host_port, self.params.load_occupancy, addr,
+                          self._host_router)
 
     # ------------------------------------------------------------------
     # Cluster-initiated traffic
@@ -141,13 +150,15 @@ class Interconnect:
         port = self._cluster_port(cluster_id)
         self._log(TransactionKind.WRITE, f"cluster{cluster_id}", (addr,), value)
         return self._write(port, self.params.cluster_port_occupancy,
-                           self.params.request_latency, (addr,), value)
+                           self.params.request_latency, (addr,), value,
+                           self._cluster_routers[cluster_id])
 
     def cluster_read(self, cluster_id: int, addr: int) -> Event:
         """A cluster load (e.g. the DM core fetching the job descriptor)."""
         port = self._cluster_port(cluster_id)
         self._log(TransactionKind.READ, f"cluster{cluster_id}", (addr,), None)
-        return self._read(port, self.params.cluster_port_occupancy, addr)
+        return self._read(port, self.params.cluster_port_occupancy, addr,
+                          self._cluster_routers[cluster_id])
 
     def cluster_read_burst(self, cluster_id: int, addr: int,
                            nwords: int) -> Event:
@@ -160,13 +171,14 @@ class Interconnect:
         if nwords <= 0:
             raise ConfigError(f"burst length must be positive, got {nwords}")
         port = self._cluster_port(cluster_id)
+        router = self._cluster_routers[cluster_id]
         self._log(TransactionKind.READ, f"cluster{cluster_id}", (addr,), None)
         done = self.sim.event(name=f"burst@{addr:#x}")
 
         def body():
             yield port.request(self.params.cluster_port_occupancy)
             yield self.params.request_latency
-            values = [self.address_map.read_word(addr + 8 * i)
+            values = [router.read_word(addr + 8 * i)
                       for i in range(nwords)]
             yield self.params.response_latency + (nwords - 1)
             done.trigger(values)
@@ -182,6 +194,7 @@ class Interconnect:
         synchronization cost the credit counter removes.
         """
         port = self._cluster_port(cluster_id)
+        router = self._cluster_routers[cluster_id]
         self._log(TransactionKind.AMO_ADD, f"cluster{cluster_id}", (addr,), operand)
         done = self.sim.event(name=f"amo@{addr:#x}")
 
@@ -189,7 +202,7 @@ class Interconnect:
             yield port.request(self.params.cluster_port_occupancy)
             yield self.params.request_latency
             yield self.amo_port.request(self.params.amo_service_cycles)
-            old = self.address_map.amo_add(addr, operand)
+            old = router.amo_add(addr, operand)
             yield self.params.response_latency
             done.trigger(old)
 
@@ -208,7 +221,8 @@ class Interconnect:
         return self.cluster_ports[cluster_id]
 
     def _write(self, port: SerialResource, occupancy: int, latency: int,
-               addresses: typing.Tuple[int, ...], value: int) -> WriteHandle:
+               addresses: typing.Tuple[int, ...], value: int,
+               router) -> WriteHandle:
         issued = port.request(occupancy)
         delivered = self.sim.event(name="write.delivered")
         acked = self.sim.event(name="write.acked")
@@ -217,7 +231,7 @@ class Interconnect:
             yield issued
             yield latency
             for addr in addresses:
-                self.address_map.write_word(addr, value)
+                router.write_word(addr, value)
             delivered.trigger(self.sim.now)
             yield self.params.response_latency
             acked.trigger(self.sim.now)
@@ -225,18 +239,54 @@ class Interconnect:
         self.sim.spawn(body(), name="noc.write")
         return WriteHandle(issued=issued, delivered=delivered, acked=acked)
 
-    def _read(self, port: SerialResource, occupancy: int, addr: int) -> Event:
+    def _read(self, port: SerialResource, occupancy: int, addr: int,
+              router) -> Event:
         done = self.sim.event(name=f"read@{addr:#x}")
 
         def body():
             yield port.request(occupancy)
             yield self.params.request_latency
-            value = self.address_map.read_word(addr)
+            value = router.read_word(addr)
             yield self.params.response_latency
             done.trigger(value)
 
         self.sim.spawn(body(), name="noc.read")
         return done
+
+    # ------------------------------------------------------------------
+    # Analytic fast-forward support (see repro.runtime.protocol)
+    # ------------------------------------------------------------------
+    def charge_host_poll_reads(self, addr: int, first_issue: int,
+                               period: int, count: int) -> None:
+        """Account ``count`` host poll loads without simulating them.
+
+        The virtualized completion-poll path computes analytically when
+        each skipped load would have issued; this charges exactly what
+        the simulated loads would have: one logged READ transaction per
+        load (``issued_at`` at the true issue cycle) and the host
+        port's occupancy and request count.  Entries are appended in
+        one batch, so their *list position* relative to concurrent
+        cluster traffic can differ from a fully simulated run — counts,
+        timestamps, and port accounting are identical.
+        """
+        occupancy = self.params.load_occupancy
+        append = self.transactions.append
+        for k in range(count):
+            append(Transaction(
+                kind=TransactionKind.READ, source="host", addresses=(addr,),
+                value=None, posted=False, issued_at=first_issue + k * period,
+            ))
+        self.host_port.charge_bulk(
+            requests=count, busy_cycles=count * occupancy,
+            next_free=first_issue + (count - 1) * period + occupancy)
+
+    def reset(self) -> None:
+        """Restore boot state: empty transaction log, idle ports."""
+        self.transactions.clear()
+        self.host_port.reset()
+        self.amo_port.reset()
+        for port in self.cluster_ports:
+            port.reset()
 
     def _log(self, kind: TransactionKind, source: str,
              addresses: typing.Tuple[int, ...],

@@ -6,15 +6,14 @@ import typing
 
 from repro.errors import OffloadError
 from repro.runtime.protocol import OffloadRuntime
+from repro.soc.config import VARIANT_FEATURES
 from repro.soc.manticore import ManticoreSystem
 
-#: Variant name → (use_multicast, use_hw_sync).
-RUNTIME_VARIANTS: typing.Dict[str, typing.Tuple[bool, bool]] = {
-    "baseline": (False, False),
-    "multicast_only": (True, False),
-    "hw_sync_only": (False, True),
-    "extended": (True, True),
-}
+#: Variant name → (use_multicast, use_hw_sync).  An alias of
+#: :data:`repro.soc.config.VARIANT_FEATURES`, kept for backwards
+#: compatibility; the config module owns the mapping so
+#: ``SoCConfig.for_variant`` and the runtime factory cannot drift.
+RUNTIME_VARIANTS: typing.Dict[str, typing.Tuple[bool, bool]] = VARIANT_FEATURES
 
 
 def make_runtime(system: ManticoreSystem,

@@ -18,12 +18,19 @@ running on CVA6.  Its structure (and where the cycles go) is:
 
 from __future__ import annotations
 
+import os
 import typing
 
 from repro import abi
-from repro.errors import OffloadError
+from repro.errors import MemoryError_, OffloadError
+from repro.mem.map import MmioDevice
 from repro.soc.manticore import ManticoreSystem
 from repro.soc.syncunit import IRQ_LINE
+
+#: Environment variable: when set (non-empty), the baseline completion
+#: wait simulates every poll iteration instead of fast-forwarding.
+#: Used by the A/B property tests proving the fast path is cycle-exact.
+NAIVE_POLL_ENV = "REPRO_NAIVE_POLL"
 
 
 class OffloadRuntime:
@@ -49,11 +56,13 @@ class OffloadRuntime:
         if use_multicast and not config.multicast:
             raise OffloadError(
                 "runtime requests multicast dispatch but the SoC was built "
-                "without the multicast extension")
+                "without the multicast extension (build the system from "
+                "SoCConfig.for_variant('multicast_only') or 'extended')")
         if use_hw_sync and not config.hw_sync:
             raise OffloadError(
                 "runtime requests hardware synchronization but the SoC was "
-                "built without the sync unit enabled")
+                "built without the sync unit enabled (build the system from "
+                "SoCConfig.for_variant('hw_sync_only') or 'extended')")
         self.system = system
         self.use_multicast = use_multicast
         self.use_hw_sync = use_hw_sync
@@ -99,6 +108,105 @@ class OffloadRuntime:
                 yield from host.execute(config.host_addr_calc_cycles)
                 yield from host.store_posted(
                     system.mailbox_addr(cluster_id), desc_addr)
+
+    def _poll_wait(self, flag_addr: int, threshold: int) -> typing.Generator:
+        """Poll the completion flag until it reaches ``threshold``.
+
+        The reference semantics are the baseline's software loop::
+
+            while True:
+                value = yield from host.load(flag_addr)   # round trip
+                if value >= threshold: break              # compare+branch
+                yield from host.execute(poll_gap)         # loop overhead
+
+        which costs the simulator one process wake-up per iteration —
+        O(runtime / poll period) events, the dominant event count for
+        long offloads.  The fast path below is cycle-exact and charges
+        identical statistics while collapsing the wait into O(1) events:
+        it simulates the *first* load for real, then parks on a
+        watchpoint at ``flag_addr``.  When the threshold-crossing write
+        lands (cycle ``t_w``), the iteration schedule is reconstructed
+        analytically.  With the host port otherwise idle, iteration
+        ``k``'s load reads the flag at ``u_k = u_0 + k * period`` where
+        ``period = load_occupancy + request_latency + response_latency +
+        poll_gap``.  A read in the same cycle as the write still
+        observes the *old* value — with ``request_latency > 0`` the read
+        resumes via the time heap, which the kernel drains before the
+        zero-delay FIFO that delivers the write — so the first
+        successful iteration is the first with ``u_k > t_w``.  The
+        skipped loads/compares/branches are charged in one step (logged
+        READ transactions at their true issue cycles, host-port
+        occupancy, retired-operation and load counters) and the host
+        resumes exactly at ``u_k + response_latency``.
+
+        The fast path requires ``request_latency > 0`` (the ordering
+        argument above) and a non-MMIO flag region (the arming peek must
+        be side-effect free); otherwise, or when ``REPRO_NAIVE_POLL`` is
+        set, the reference loop runs unchanged.
+        """
+        system = self.system
+        host = system.host
+        config = system.config
+        params = system.noc.params
+        gap = config.host_poll_gap_cycles
+
+        region = None
+        if not os.environ.get(NAIVE_POLL_ENV) and params.request_latency > 0:
+            try:
+                region = system.address_map.region_at(flag_addr)
+            except MemoryError_:
+                region = None
+            if region is not None and isinstance(region.target, MmioDevice):
+                region = None
+        if region is None:
+            while True:
+                value = yield from host.load(flag_addr)
+                if value >= threshold:
+                    return
+                yield from host.execute(gap)
+
+        sim = system.sim
+        memory = region.target
+        period = (params.load_occupancy + params.request_latency
+                  + params.response_latency + gap)
+
+        # Iteration 0 runs for real (it also absorbs any leftover host-
+        # port occupancy from the dispatch stores).
+        value = yield from host.load(flag_addr)
+        if value >= threshold:
+            return
+        read0 = sim.now - params.response_latency
+
+        # The crossing write may have landed in this very cycle, in the
+        # same zero-delay phase that resumed us, before a watchpoint
+        # could be armed — a side-effect-free functional peek catches it.
+        if memory.read_word(flag_addr) >= threshold:
+            crossed_at = sim.now
+        else:
+            crossed = sim.event(name=f"poll.virtual@{flag_addr:#x}")
+
+            def on_flag_write(new_value: int) -> None:
+                if new_value >= threshold and not crossed.triggered:
+                    crossed.trigger(new_value)
+
+            system.address_map.watch(flag_addr, on_flag_write)
+            try:
+                yield crossed
+            finally:
+                system.address_map.unwatch(flag_addr)
+            crossed_at = sim.now
+
+        # First iteration whose read strictly follows the crossing write.
+        success = (crossed_at - read0) // period + 1
+        first_issue = (read0 + period
+                       - params.load_occupancy - params.request_latency)
+        system.noc.charge_host_poll_reads(
+            flag_addr, first_issue, period, success)
+        host.lsu.loads_issued += success
+        # Per skipped iteration: one gap execute + one load.
+        host.retired_operations += 2 * success
+        resume_at = read0 + success * period + params.response_latency
+        yield sim.timer(resume_at - crossed_at, name="poll.fastforward")
 
     # ------------------------------------------------------------------
     # The host program
@@ -146,11 +254,7 @@ class OffloadRuntime:
             if self.use_hw_sync:
                 yield from host.wfi(IRQ_LINE)
             else:
-                while True:
-                    value = yield from host.load(flag_addr)
-                    if value >= desc.num_clusters:
-                        break
-                    yield from host.execute(config.host_poll_gap_cycles)
+                yield from self._poll_wait(flag_addr, desc.num_clusters)
 
             system.trace.record("host", "offload_end")
             result["end_cycle"] = system.sim.now
@@ -210,11 +314,7 @@ class OffloadRuntime:
             if self.use_hw_sync:
                 yield from host.wfi(IRQ_LINE)
             else:
-                while True:
-                    value = yield from host.load(flag_addr)
-                    if value >= desc.num_clusters:
-                        break
-                    yield from host.execute(config.host_poll_gap_cycles)
+                yield from self._poll_wait(flag_addr, desc.num_clusters)
 
             system.trace.record("host", "offload_end")
             result["end_cycle"] = system.sim.now
@@ -289,11 +389,7 @@ class OffloadRuntime:
                 yield from host.wfi(IRQ_LINE)
             else:
                 for (desc, _addr), flag_addr in zip(jobs, flag_addrs):
-                    while True:
-                        value = yield from host.load(flag_addr)
-                        if value >= desc.num_clusters:
-                            break
-                        yield from host.execute(config.host_poll_gap_cycles)
+                    yield from self._poll_wait(flag_addr, desc.num_clusters)
 
             system.trace.record("host", "offload_end")
             result["end_cycle"] = system.sim.now

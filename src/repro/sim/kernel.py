@@ -6,7 +6,7 @@ import collections
 import heapq
 import typing
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import CycleLimitError, DeadlockError, SimulationError
 from repro.sim.event import AllOf, AnyOf, Event
 from repro.sim.process import Process
 
@@ -120,7 +120,8 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: typing.Optional[typing.Union[int, Event]] = None) -> int:
+    def run(self, until: typing.Optional[typing.Union[int, Event]] = None,
+            max_cycles: typing.Optional[int] = None) -> int:
         """Run the simulation and return the final cycle count.
 
         Parameters
@@ -134,6 +135,11 @@ class Simulator:
             :class:`Event`
                 Run until the event triggers; raises
                 :class:`DeadlockError` if the queue drains first.
+        max_cycles:
+            Only with an :class:`Event` ``until``: raise
+            :class:`CycleLimitError` instead of advancing time past
+            this cycle (a runaway-protocol guard; the check costs one
+            comparison per time advance, never per event).
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
@@ -184,6 +190,11 @@ class Simulator:
                         callback, argument = popleft()
                         callback(argument)
                     elif queue:
+                        if max_cycles is not None and queue[0][0] > max_cycles:
+                            raise CycleLimitError(
+                                f"next event at cycle {queue[0][0]} exceeds "
+                                f"the {max_cycles}-cycle budget"
+                            )
                         item = pop(queue)
                         self.now = item[0]
                         item[2](item[3])
@@ -196,6 +207,25 @@ class Simulator:
             raise SimulationError(f"invalid 'until' argument: {until!r}")
         finally:
             self._running = False
+
+    def reset(self) -> None:
+        """Rewind the clock to cycle 0 for a fresh measurement.
+
+        Only legal once the queues have drained (``run()`` returned with
+        nothing pending): a queued callback carries an absolute cycle
+        and would fire at a nonsense time after the rewind.  Processes
+        parked on untriggered events (e.g. DM cores waiting on their
+        mailboxes) hold no queue entries and survive a reset unharmed.
+        """
+        if self._queue or self._now_queue:
+            raise SimulationError(
+                f"cannot reset with {self.pending} pending callbacks; "
+                "run the simulator to completion first"
+            )
+        if self._running:
+            raise SimulationError("cannot reset while running")
+        self.now = 0
+        self._sequence = 0
 
     @property
     def pending(self) -> int:

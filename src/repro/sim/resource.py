@@ -104,6 +104,37 @@ class SerialResource:
             return 0.0
         return min(1.0, self._busy_cycles / self.sim.now)
 
+    def charge_bulk(self, requests: int, busy_cycles: int,
+                    next_free: int) -> None:
+        """Account ``requests`` analytically computed requests at once.
+
+        Used by fast-forward paths (e.g. virtualized host polling) that
+        skip simulating individual requests but must leave the resource's
+        statistics and availability exactly as the simulated requests
+        would have: ``requests``/``busy_cycles`` grow by the given
+        amounts and ``next_free`` advances (never rewinds) to the
+        completion of the last skipped request.
+        """
+        if requests < 0 or busy_cycles < 0:
+            raise SimulationError(
+                f"{self.name}: negative bulk charge "
+                f"(requests={requests}, busy_cycles={busy_cycles})"
+            )
+        self._requests += requests
+        self._busy_cycles += busy_cycles
+        if next_free > self._next_free:
+            self._next_free = next_free
+
+    def reset(self) -> None:
+        """Restore boot state (idle, zero counters).
+
+        Only valid once the simulator has drained: there must be no
+        in-flight request whose completion event is still queued.
+        """
+        self._next_free = 0
+        self._busy_cycles = 0
+        self._requests = 0
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<SerialResource {self.name} next_free={self._next_free} "
@@ -144,3 +175,8 @@ class ThroughputChannel(SerialResource):
     def bytes_moved(self) -> int:
         """Total bytes accepted by the channel so far."""
         return self._bytes_moved
+
+    def reset(self) -> None:
+        """Restore boot state, including the byte counter."""
+        super().reset()
+        self._bytes_moved = 0

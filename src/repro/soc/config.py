@@ -24,9 +24,19 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import typing
 
 from repro.errors import ConfigError
 from repro.noc.xbar import NocParams
+
+#: Runtime variant name → (multicast, hw_sync) hardware feature pair.
+#: The single source of truth shared with ``repro.runtime.api``.
+VARIANT_FEATURES: typing.Dict[str, typing.Tuple[bool, bool]] = {
+    "baseline": (False, False),
+    "multicast_only": (True, False),
+    "hw_sync_only": (False, True),
+    "extended": (True, True),
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -131,6 +141,27 @@ class SoCConfig:
         """Copy of this config with the feature pair replaced (ablation)."""
         return dataclasses.replace(self, multicast=multicast, hw_sync=hw_sync)
 
+    def for_variant(self, variant: str) -> "SoCConfig":
+        """Copy of this config with the hardware a runtime variant needs.
+
+        Saves callers hand-rolling ``dataclasses.replace(cfg,
+        multicast=..., hw_sync=...)`` per variant and keeps the
+        name → feature mapping in one place (:data:`VARIANT_FEATURES`).
+
+        Raises
+        ------
+        ConfigError
+            On unknown variant names.
+        """
+        try:
+            multicast, hw_sync = VARIANT_FEATURES[variant]
+        except KeyError:
+            raise ConfigError(
+                f"unknown runtime variant {variant!r}; available: "
+                f"{', '.join(sorted(VARIANT_FEATURES))}"
+            ) from None
+        return self.with_features(multicast=multicast, hw_sync=hw_sync)
+
     # ------------------------------------------------------------------
     # Validation & derived values
     # ------------------------------------------------------------------
@@ -203,10 +234,18 @@ class SoCConfig:
         it.  Fields are serialized by name, so reordering the dataclass
         does not invalidate caches — but adding a knob does, which is
         exactly right because a new knob means new timing behaviour.
+
+        Memoized: the config is frozen, and pooled sweep execution
+        digests the same instance once per grid point.
         """
-        fields = dataclasses.asdict(self)
-        text = ",".join(f"{name}={fields[name]!r}" for name in sorted(fields))
-        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+        cached = getattr(self, "_digest_cache", None)
+        if cached is None:
+            fields = dataclasses.asdict(self)
+            text = ",".join(
+                f"{name}={fields[name]!r}" for name in sorted(fields))
+            cached = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_digest_cache", cached)
+        return cached
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -84,6 +84,14 @@ class FabricBarrier:
             self._groups[group] = (expected, arrived, release)
         yield release
 
+    def reset(self) -> None:
+        """Restore boot state; only legal with no open generations."""
+        if self._groups:
+            raise SimulationError(
+                f"cannot reset fabric barrier with open groups "
+                f"{self.open_groups}")
+        self.generations = 0
+
     def waiting(self, group: int = 0) -> int:
         """Clusters currently blocked in ``group``'s open generation."""
         if group not in self._groups:

@@ -16,8 +16,11 @@ System address map::
     0x1000_0000  cluster TCDMs, one 1 MiB-aligned block per cluster
     0x8000_0000  shared main memory
 
-A system instance is cheap to build, and measurements construct a fresh
-one per data point so no state leaks between experiments.
+Construction is the expensive part of a measurement at sweep scale, so
+instances are reusable: :meth:`ManticoreSystem.reset` restores boot
+state bit-identically once a run has drained, and
+:class:`repro.soc.pool.SystemPool` hands the same instance to
+successive same-config measurements.
 """
 
 from __future__ import annotations
@@ -155,6 +158,42 @@ class ManticoreSystem:
     @property
     def syncunit_count_addr(self) -> int:
         return SYNCUNIT_BASE + syncunit_regs.COUNT_OFFSET
+
+    # ------------------------------------------------------------------
+    # Reuse
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore the system to boot state for the next measurement.
+
+        Safe only once the simulation has fully drained (``run()``
+        returned with nothing pending): the clock rewinds to cycle 0,
+        allocators, counters, peripherals, memory contents, transaction
+        and trace logs all return to their post-construction values.
+        The one intentional difference from a fresh instance is that
+        each cluster's DM core is already parked on its mailbox event
+        rather than pending its kick-off callback — timing-equivalent,
+        because the host's setup phase strictly precedes the first
+        doorbell (see ``tests/property/test_system_reuse.py``).
+
+        Raises
+        ------
+        SimulationError
+            If callbacks are still queued or a barrier/interrupt waiter
+            is outstanding (i.e. the previous run did not drain).
+        """
+        self.sim.reset()  # validates the queues are drained
+        self.trace.clear()
+        self.address_map.clear_watchpoints()
+        self.memory.reset()
+        self.read_channel.reset()
+        self.write_channel.reset()
+        self.noc.reset()
+        self.irq.reset()
+        self.syncunit.reset()
+        self.fabric_barrier.reset()
+        self.host.reset()
+        for cluster in self.clusters:
+            cluster.reset()
 
     # ------------------------------------------------------------------
     # Convenience

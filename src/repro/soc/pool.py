@@ -1,0 +1,114 @@
+"""Reusable :class:`~repro.soc.manticore.ManticoreSystem` instances.
+
+Building a 32-cluster system allocates an 8 MB main memory, 32 TCDMs,
+and a ~66-region address map — roughly a fifth of the wall time of a
+short sweep point.  Measurements that run many points on identical
+hardware (every sweep in the paper) can instead lease one system per
+configuration from a :class:`SystemPool`: a leased system is handed out
+after :meth:`~repro.soc.manticore.ManticoreSystem.reset`, which
+restores boot state bit-identically (property-tested in
+``tests/property/test_system_reuse.py``).
+
+Pooling is transparent to measurement code and can be disabled globally
+for A/B verification by setting the ``REPRO_FRESH_SYSTEMS`` environment
+variable to a non-empty value.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import os
+import typing
+
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+#: Environment variable: when set (non-empty), pools build a fresh
+#: system for every acquire and discard it on release.
+FRESH_SYSTEMS_ENV = "REPRO_FRESH_SYSTEMS"
+
+
+def pooling_disabled() -> bool:
+    """Whether ``REPRO_FRESH_SYSTEMS`` forces fresh construction."""
+    return bool(os.environ.get(FRESH_SYSTEMS_ENV))
+
+
+class SystemPool:
+    """A keyed pool of reset-to-boot ManticoreSystem instances.
+
+    Keys are :meth:`SoCConfig.digest` values, so two structurally equal
+    configurations share a pool slot.  ``max_idle`` bounds how many
+    *idle* systems are retained per key (leased systems are owned by
+    the caller and not counted); sweeps touch one or two configs at a
+    time, so the default of 1 suffices.
+
+    Thread/process notes: the pool is not thread-safe; sweep workers
+    each own a process-local pool (see ``repro.core.executor``).
+    """
+
+    def __init__(self, max_idle: int = 1) -> None:
+        if max_idle < 1:
+            raise ValueError(f"max_idle must be >= 1, got {max_idle}")
+        self.max_idle = max_idle
+        self._idle: typing.Dict[str, collections.deque] = {}
+        #: Number of acquires served by reusing an idle instance.
+        self.hits = 0
+        #: Number of acquires that had to construct a system.
+        self.builds = 0
+
+    def acquire(self, config: SoCConfig,
+                record_trace: bool = True) -> ManticoreSystem:
+        """Lease a boot-state system for ``config``.
+
+        The caller owns the instance until :meth:`release`; an idle
+        pooled instance is reset before being handed out.  With
+        ``REPRO_FRESH_SYSTEMS`` set, always constructs.
+        """
+        if not pooling_disabled():
+            queue = self._idle.get(config.digest())
+            while queue:
+                system = queue.pop()
+                # Trace recording is a construction-time choice; only
+                # reuse an instance whose choice matches.
+                if system.trace.enabled == record_trace:
+                    system.reset()
+                    self.hits += 1
+                    return system
+        self.builds += 1
+        return ManticoreSystem(config, record_trace=record_trace)
+
+    def release(self, system: ManticoreSystem) -> None:
+        """Return a leased system to the pool.
+
+        The system must have drained (``sim.pending == 0``); callers
+        that hit an exception mid-measurement should *discard* the
+        instance instead (just drop the reference) — a half-run system
+        cannot be proven reusable.  With ``REPRO_FRESH_SYSTEMS`` set,
+        the instance is dropped.
+        """
+        if pooling_disabled() or system.sim.pending:
+            return
+        queue = self._idle.setdefault(
+            system.config.digest(), collections.deque())
+        if len(queue) < self.max_idle:
+            queue.append(system)
+
+    @contextlib.contextmanager
+    def lease(self, config: SoCConfig, record_trace: bool = True):
+        """``with pool.lease(cfg) as system:`` acquire/release pairing.
+
+        On an exception the instance is discarded, not returned.
+        """
+        system = self.acquire(config, record_trace=record_trace)
+        yield system
+        self.release(system)
+
+    def clear(self) -> None:
+        """Drop every idle instance."""
+        self._idle.clear()
+
+    @property
+    def idle_count(self) -> int:
+        """Total idle instances currently retained."""
+        return sum(len(queue) for queue in self._idle.values())

@@ -104,3 +104,10 @@ class SyncUnit(MmioDevice):
     def armed(self) -> bool:
         """Whether a threshold is set and the interrupt has not fired yet."""
         return self._armed
+
+    def reset(self) -> None:
+        """Restore boot state (threshold cleared, counters zeroed)."""
+        self.threshold = 0
+        self.count = 0
+        self.interrupts_fired = 0
+        self._armed = False

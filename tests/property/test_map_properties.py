@@ -1,0 +1,114 @@
+"""Property tests: bisect address routing matches a linear-scan oracle."""
+
+import hypothesis
+import hypothesis.strategies as st
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem.map import AddressMap, Region
+
+
+class _Words:
+    """A trivial word store standing in for a memory target."""
+
+    def __init__(self):
+        self.data = {}
+
+    def read_word(self, addr):
+        return self.data.get(addr, 0)
+
+    def write_word(self, addr, value):
+        self.data[addr] = value
+
+
+class LinearMap:
+    """Reference implementation: unordered list + linear scan."""
+
+    def __init__(self):
+        self.regions = []
+
+    def add(self, region):
+        for existing in self.regions:
+            if existing.overlaps(region):
+                raise MemoryError_("overlap")
+            if existing.name == region.name:
+                raise MemoryError_("duplicate name")
+        self.regions.append(region)
+
+    def region_at(self, addr):
+        for region in self.regions:
+            if region.contains(addr):
+                return region
+        raise MemoryError_("unmapped")
+
+
+def _region_specs():
+    # (base, size) pairs over a small address space so that overlaps,
+    # adjacency, and misses are all likely.
+    return st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4096),
+                  st.integers(min_value=8, max_value=512)),
+        min_size=1, max_size=12)
+
+
+@hypothesis.settings(max_examples=200, deadline=None)
+@hypothesis.given(specs=_region_specs(),
+                  probes=st.lists(st.integers(min_value=-64, max_value=5120),
+                                  min_size=1, max_size=32))
+def test_bisect_routing_matches_linear_scan(specs, probes):
+    fast = AddressMap()
+    slow = LinearMap()
+    for index, (base, size) in enumerate(specs):
+        region_f = Region(f"r{index}", base, size, _Words())
+        region_s = Region(f"r{index}", base, size, _Words())
+        fast_error = slow_error = None
+        try:
+            fast.add(region_f)
+        except MemoryError_ as exc:
+            fast_error = exc
+        try:
+            slow.add(region_s)
+        except MemoryError_ as exc:
+            slow_error = exc
+        # Overlap rejection must agree with the oracle exactly.
+        assert (fast_error is None) == (slow_error is None), \
+            f"add({base:#x}, {size}) disagreement: {fast_error} vs {slow_error}"
+
+    assert len(fast) == len(slow.regions)
+    router = fast.port_router()
+    for addr in probes:
+        try:
+            expected = slow.region_at(addr)
+        except MemoryError_:
+            with pytest.raises(MemoryError_):
+                fast.region_at(addr)
+            with pytest.raises(MemoryError_):
+                router.region_at(addr)
+            continue
+        # Map-level lookup, then again through a port router (exercising
+        # both the map hit slot and the per-port hit slot).
+        for lookup in (fast.region_at, router.region_at, router.region_at):
+            got = lookup(addr)
+            assert got.name == expected.name
+            assert got.base == expected.base
+            assert got.end == expected.base + expected.size
+
+
+@hypothesis.settings(max_examples=100, deadline=None)
+@hypothesis.given(specs=_region_specs())
+def test_regions_stay_sorted_and_named(specs):
+    amap = AddressMap()
+    added = {}
+    for index, (base, size) in enumerate(specs):
+        try:
+            amap.add(Region(f"r{index}", base, size, _Words()))
+            added[f"r{index}"] = (base, size)
+        except MemoryError_:
+            pass
+    bases = [region.base for region in amap.regions]
+    assert bases == sorted(bases)
+    for name, (base, size) in added.items():
+        region = amap.region_named(name)
+        assert (region.base, region.size) == (base, size)
+    with pytest.raises(KeyError):
+        amap.region_named("never-added")

@@ -1,0 +1,95 @@
+"""Unit tests for address-map watchpoints and per-port routing caches."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem.map import AddressMap, MmioDevice, Region
+from repro.mem.memory import MainMemory
+
+
+def _map_with_memory(base=0x1000, size=0x1000):
+    amap = AddressMap()
+    memory = MainMemory(base=base, size_bytes=size)
+    amap.add(Region("dram", base, size, memory))
+    return amap, memory
+
+
+def test_watchpoint_fires_on_routed_write():
+    amap, _memory = _map_with_memory()
+    seen = []
+    amap.watch(0x1008, seen.append)
+    amap.write_word(0x1000, 7)   # different address: silent
+    amap.write_word(0x1008, 42)
+    amap.write_word(0x1008, 43)
+    assert seen == [42, 43]
+
+
+def test_watchpoint_fires_on_amo():
+    amap, _memory = _map_with_memory()
+    seen = []
+    amap.watch(0x1010, seen.append)
+    assert amap.amo_add(0x1010, 5) == 0   # returns the old value
+    assert amap.amo_add(0x1010, 3) == 5
+    assert seen == [5, 8]                 # observes the *new* values
+
+
+def test_watchpoint_duplicate_raises_and_unwatch_clears():
+    amap, _memory = _map_with_memory()
+    amap.watch(0x1000, lambda value: None)
+    with pytest.raises(MemoryError_):
+        amap.watch(0x1000, lambda value: None)
+    amap.unwatch(0x1000)
+    amap.unwatch(0x1000)          # no-op when absent
+    amap.watch(0x1000, lambda value: None)   # rearm after unwatch is fine
+    amap.clear_watchpoints()
+    amap.watch(0x1000, lambda value: None)   # and after a clear
+
+
+def test_watchpoint_observes_writes_from_every_port():
+    amap, _memory = _map_with_memory()
+    seen = []
+    amap.watch(0x1020, seen.append)
+    port_a = amap.port_router()
+    port_b = amap.port_router()
+    port_a.write_word(0x1020, 1)
+    port_b.write_word(0x1020, 2)
+    assert seen == [1, 2]
+
+
+class _Reg(MmioDevice):
+    def __init__(self):
+        self.values = {}
+
+    def write_register(self, offset, value):
+        self.values[offset] = value
+
+    def read_register(self, offset):
+        return self.values.get(offset, 0)
+
+
+def test_port_hit_cache_survives_region_switches():
+    amap, memory = _map_with_memory()
+    device = _Reg()
+    amap.add(Region("mmio", 0x4000, 0x100, device))
+    port = amap.port_router()
+    # Alternate between regions: the one-slot cache must re-resolve
+    # correctly every time, and MMIO writes must go through registers.
+    for i in range(4):
+        port.write_word(0x1000 + 8 * i, i)
+        port.write_word(0x4008, 100 + i)
+    assert memory.read_word(0x1018) == 3
+    assert device.values[0x8] == 103
+    with pytest.raises(MemoryError_):
+        port.read_word(0x9000)
+    # A miss must not poison the hit slot.
+    assert port.read_word(0x1018) == 3
+
+
+def test_alloc_error_message_accounts_for_alignment_padding():
+    memory = MainMemory(base=0x1000, size_bytes=64)
+    memory.alloc(56)   # bump to 0x1038; align=32 pads 8 more bytes away
+    with pytest.raises(MemoryError_) as excinfo:
+        memory.alloc(16, align=32)
+    message = str(excinfo.value)
+    assert "16 bytes requested" in message
+    assert "8 bytes of alignment padding" in message
