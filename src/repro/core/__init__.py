@@ -2,6 +2,8 @@
 
 - :mod:`repro.core.offload` — run one offloaded job end to end on a
   simulated SoC and measure it;
+- :mod:`repro.core.staging` — the shared job-binding lifecycle every
+  launch shape (plain, host, overlapped, concurrent) stages through;
 - :mod:`repro.core.sweep` — measure grids of (kernel, N, M, variant)
   points, the raw material of every figure;
 - :mod:`repro.core.executor` — parallel fan-out of sweep grids over
@@ -21,9 +23,11 @@ from repro.core.executor import SweepExecutor
 from repro.core.mape import mape, mape_table
 from repro.core.model import OffloadModel, PAPER_DAXPY_MODEL
 from repro.core.offload import OffloadResult, offload, offload_daxpy
+from repro.core.staging import JobBinding
 from repro.core.sweep import SweepPoint, SweepResult, sweep
 
 __all__ = [
+    "JobBinding",
     "OffloadDecision",
     "OffloadModel",
     "OffloadResult",

@@ -26,11 +26,13 @@ import json
 import os
 import typing
 
+from repro import flags
 from repro.core.sweep import SweepPoint
 from repro.soc.config import SoCConfig
 
-#: Environment variable overriding the default on-disk cache location.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Re-exported from :mod:`repro.flags`, the single source of truth for
+#: every ``REPRO_*`` gate; kept here for backwards compatibility.
+CACHE_DIR_ENV = flags.CACHE_DIR_ENV
 
 #: Bump when the on-disk record layout changes; stale files then miss.
 _SCHEMA = 1
@@ -38,7 +40,7 @@ _SCHEMA = 1
 
 def default_cache_dir() -> str:
     """The CLI's on-disk cache location (override with ``REPRO_CACHE_DIR``)."""
-    override = os.environ.get(CACHE_DIR_ENV)
+    override = flags.cache_dir()
     if override:
         return override
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-sweeps")

@@ -12,6 +12,9 @@ Cluster ranges are assigned contiguously in job order.  Completion uses
 a single credit-counter threshold equal to the total cluster count (the
 unit doubles as a cross-job completion barrier), or one AMO flag per
 job on baseline hardware.
+
+Each job is staged through :class:`repro.core.staging.JobBinding`, the
+same binding the plain offload path uses.
 """
 
 from __future__ import annotations
@@ -21,17 +24,8 @@ import typing
 
 import numpy
 
-from repro import abi
-from repro.core.offload import (
-    DEFAULT_MAX_CYCLES,
-    EXEC_MODES,
-    _check_offload_shape,
-    _prepare_inputs,
-    _run_to_completion,
-    _verify_outputs,
-)
+from repro.core.staging import DEFAULT_MAX_CYCLES, JobBinding, run_to_completion
 from repro.errors import OffloadError
-from repro.kernels.registry import get_kernel
 from repro.runtime.api import make_runtime
 from repro.runtime.trace import build_offload_trace
 from repro.soc.manticore import ManticoreSystem
@@ -109,61 +103,24 @@ def offload_concurrent(system: ManticoreSystem,
             f"{system.config.num_clusters}")
 
     runtime = make_runtime(system, variant)
-    memory = system.memory
 
-    descs: typing.List[typing.Tuple[abi.JobDescriptor, int]] = []
-    staged = []
-    flag_addrs: typing.List[int] = []
+    bindings: typing.List[JobBinding] = []
     first = 0
     for job in jobs:
-        kernel = get_kernel(job.kernel_name)
-        scalars = dict(job.scalars) if job.scalars else {
-            name: 1.0 for name in kernel.scalar_names}
-        kernel.validate(job.n, scalars)
-        if job.exec_mode not in EXEC_MODES:
-            raise OffloadError(f"unknown exec mode {job.exec_mode!r}")
-        _check_offload_shape(
-            system, kernel, job.n, job.num_clusters,
-            double_buffered=(job.exec_mode == "double_buffered"))
-        inputs = _prepare_inputs(kernel, job.n, job.inputs, job.seed)
-
-        input_addrs = {}
-        for name in kernel.input_names:
-            addr = memory.alloc_f64(kernel.input_length(name, job.n))
-            memory.write_f64(addr, inputs[name])
-            input_addrs[name] = addr
-        output_addrs = {}
-        for name in kernel.output_names:
-            alias = kernel.output_alias(name)
-            if alias is not None:
-                output_addrs[name] = input_addrs[alias]
-            else:
-                output_addrs[name] = memory.alloc_f64(
-                    kernel.output_length(name, job.n, job.num_clusters))
-
-        if runtime.sync_mode == abi.SYNC_MODE_AMO:
-            flag_addr = memory.alloc(8)
-            flag_addrs.append(flag_addr)
-            completion_addr = flag_addr
-        else:
-            completion_addr = system.syncunit_increment_addr
-
-        desc = abi.JobDescriptor(
-            kernel_name=job.kernel_name, n=job.n,
-            num_clusters=job.num_clusters, first_cluster=first,
-            sync_mode=runtime.sync_mode, completion_addr=completion_addr,
-            exec_mode=EXEC_MODES[job.exec_mode], scalars=scalars,
-            input_addrs=input_addrs, output_addrs=output_addrs)
-        desc_addr = memory.alloc(8 * max(desc.words, 8), align=64)
-        descs.append((desc, desc_addr))
-        staged.append((kernel, scalars, inputs, output_addrs, first))
+        bindings.append(JobBinding.bind(
+            system, runtime, job.kernel_name, job.n, job.num_clusters,
+            scalars=job.scalars, inputs=job.inputs, seed=job.seed,
+            exec_mode=job.exec_mode, first_cluster=first))
         first += job.num_clusters
 
+    flag_addrs = [binding.flag_addr for binding in bindings
+                  if binding.flag_addr is not None]
     result_box: typing.Dict[str, int] = {}
     program = runtime.concurrent_offload_program(
-        descs, flag_addrs if flag_addrs else None, result_box)
+        [(binding.desc, binding.desc_addr) for binding in bindings],
+        flag_addrs if flag_addrs else None, result_box)
     process = system.host.run_program(program, name="offload.concurrent")
-    _run_to_completion(system, process, max_cycles)
+    run_to_completion(system, process, max_cycles)
     system.run()
 
     trace = build_offload_trace(
@@ -174,19 +131,9 @@ def offload_concurrent(system: ManticoreSystem,
     }
 
     job_results = []
-    for job, (kernel, scalars, inputs, output_addrs, first_cluster) \
-            in zip(jobs, staged):
-        outputs = {
-            name: memory.read_f64(
-                output_addrs[name],
-                kernel.output_length(name, job.n, job.num_clusters))
-            for name in kernel.output_names
-        }
-        verified = None
-        if verify:
-            _verify_outputs(kernel, job.n, job.num_clusters, scalars,
-                            inputs, outputs)
-            verified = True
+    for job, binding in zip(jobs, bindings):
+        outputs, verified = binding.finish(verify)
+        first_cluster = binding.desc.first_cluster
         completed = max(
             completion_by_cluster[cid]
             for cid in range(first_cluster,

@@ -1,10 +1,13 @@
 """Run one offloaded job end to end and measure it.
 
-:func:`offload` is the package's main entry point: it stages job
-operands into the simulated SoC's main memory, encodes the job
-descriptor, runs the host's offload routine against the cluster fabric,
-checks functional correctness against the kernel's reference, and
-returns the measured runtime with a full phase breakdown.
+:func:`offload` is the package's main entry point: it binds the job to
+the simulated SoC through the staging layer
+(:class:`repro.core.staging.JobBinding` — operand staging, descriptor
+build, completion resources), runs the host's offload routine against
+the cluster fabric, checks functional correctness against the kernel's
+reference, and returns the measured runtime with a full phase
+breakdown.  :func:`run_on_host` measures the offload's rival: the host
+core running the same kernel itself.
 """
 
 from __future__ import annotations
@@ -14,17 +17,26 @@ import typing
 
 import numpy
 
-from repro import abi
-from repro.errors import CycleLimitError, DeadlockError, OffloadError
-from repro.kernels.base import Kernel, split_range
-from repro.kernels.registry import get_kernel
+from repro.core.staging import (
+    DEFAULT_MAX_CYCLES,
+    EXEC_MODES,
+    JobBinding,
+    run_to_completion,
+)
+from repro.errors import OffloadError
 from repro.runtime.api import make_runtime
 from repro.runtime.trace import OffloadTrace, build_offload_trace
 from repro.soc.manticore import ManticoreSystem
 
-#: Simulation-cycle guard against runaway offloads (a 1024-element DAXPY
-#: takes around a thousand cycles; nothing sane needs a billion).
-DEFAULT_MAX_CYCLES = 1_000_000_000
+__all__ = [
+    "DEFAULT_MAX_CYCLES",
+    "EXEC_MODES",
+    "HostRunResult",
+    "OffloadResult",
+    "offload",
+    "offload_daxpy",
+    "run_on_host",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,13 +57,6 @@ class OffloadResult:
     def __str__(self) -> str:
         return (f"{self.kernel_name}(n={self.n}) on {self.num_clusters} "
                 f"clusters [{self.variant}]: {self.runtime_cycles} cycles")
-
-
-#: ``exec_mode`` argument values accepted by :func:`offload`.
-EXEC_MODES = {
-    "phased": abi.EXEC_MODE_PHASED,
-    "double_buffered": abi.EXEC_MODE_DOUBLE_BUFFERED,
-}
 
 
 def offload(system: ManticoreSystem, kernel_name: str, n: int,
@@ -90,79 +95,23 @@ def offload(system: ManticoreSystem, kernel_name: str, n: int,
     max_cycles:
         Abort if the simulation exceeds this cycle count.
     """
-    kernel = get_kernel(kernel_name)
-    scalars = dict(scalars) if scalars else {
-        name: 1.0 for name in kernel.scalar_names}
-    kernel.validate(n, scalars)
-    if exec_mode not in EXEC_MODES:
-        raise OffloadError(
-            f"unknown exec mode {exec_mode!r}; available: "
-            f"{', '.join(sorted(EXEC_MODES))}")
-    if exec_mode == "double_buffered":
-        for name in kernel.output_names:
-            if kernel.output_length(name, n, num_clusters) != n:
-                raise OffloadError(
-                    f"double buffering requires an element-wise kernel; "
-                    f"{kernel_name!r} output {name!r} depends on the "
-                    "offload shape")
-    _check_offload_shape(system, kernel, n, num_clusters,
-                         double_buffered=(exec_mode == "double_buffered"))
-
-    inputs = _prepare_inputs(kernel, n, inputs, seed)
     runtime = make_runtime(system, variant)
-    memory = system.memory
+    binding = JobBinding.bind(system, runtime, kernel_name, n, num_clusters,
+                              scalars=scalars, inputs=inputs, seed=seed,
+                              exec_mode=exec_mode)
 
-    # --- Stage operands and build the descriptor -----------------------
-    input_addrs = {}
-    for name in kernel.input_names:
-        addr = memory.alloc_f64(kernel.input_length(name, n))
-        memory.write_f64(addr, inputs[name])
-        input_addrs[name] = addr
-    output_addrs = {}
-    for name in kernel.output_names:
-        alias = kernel.output_alias(name)
-        if alias is not None:
-            output_addrs[name] = input_addrs[alias]
-        else:
-            output_addrs[name] = memory.alloc_f64(
-                kernel.output_length(name, n, num_clusters))
-
-    flag_addr = None
-    if runtime.sync_mode == abi.SYNC_MODE_AMO:
-        flag_addr = memory.alloc(8)
-        completion_addr = flag_addr
-    else:
-        completion_addr = system.syncunit_increment_addr
-
-    desc = abi.JobDescriptor(
-        kernel_name=kernel_name, n=n, num_clusters=num_clusters,
-        sync_mode=runtime.sync_mode, completion_addr=completion_addr,
-        exec_mode=EXEC_MODES[exec_mode],
-        scalars=scalars, input_addrs=input_addrs, output_addrs=output_addrs)
-    desc_addr = memory.alloc(8 * max(desc.words, 8), align=64)
-
-    # --- Run -----------------------------------------------------------
     result_box: typing.Dict[str, int] = {}
-    program = runtime.offload_program(desc, desc_addr, flag_addr, result_box)
+    program = runtime.offload_program(binding.desc, binding.desc_addr,
+                                      binding.flag_addr, result_box)
     process = system.host.run_program(program, name=f"offload.{kernel_name}")
-    _run_to_completion(system, process, max_cycles)
+    run_to_completion(system, process, max_cycles)
     system.run()  # drain in-flight responses so memory state settles
 
     if "end_cycle" not in result_box:
         raise OffloadError("offload program finished without recording "
                            "completion (runtime bug)")
 
-    # --- Collect outputs -------------------------------------------------
-    outputs = {
-        name: memory.read_f64(
-            output_addrs[name], kernel.output_length(name, n, num_clusters))
-        for name in kernel.output_names
-    }
-    verified = None
-    if verify:
-        _verify_outputs(kernel, n, num_clusters, scalars, inputs, outputs)
-        verified = True
-
+    outputs, verified = binding.finish(verify)
     trace = build_offload_trace(
         system.trace, result_box["start_cycle"], result_box["end_cycle"])
     return OffloadResult(
@@ -199,126 +148,31 @@ class HostRunResult:
 def run_on_host(system: ManticoreSystem, kernel_name: str, n: int,
                 scalars: typing.Optional[typing.Mapping[str, float]] = None,
                 inputs: typing.Optional[typing.Mapping[str, numpy.ndarray]] = None,
-                seed: int = 0, verify: bool = True) -> HostRunResult:
+                seed: int = 0, verify: bool = True,
+                max_cycles: int = DEFAULT_MAX_CYCLES) -> HostRunResult:
     """Execute a kernel on the host core — the offload's measured rival.
 
     Same staging and verification as :func:`offload`, but the host runs
     the loop itself (see :mod:`repro.runtime.hostexec`): no dispatch,
     DMA, or completion synchronization is paid, only the host's slower
-    single-core rate.
+    single-core rate.  ``max_cycles`` bounds the simulation exactly as
+    in :func:`offload`.
     """
     from repro.runtime.hostexec import host_kernel_program
 
-    kernel = get_kernel(kernel_name)
-    scalars = dict(scalars) if scalars else {
-        name: 1.0 for name in kernel.scalar_names}
-    kernel.validate(n, scalars)
-    inputs = _prepare_inputs(kernel, n, inputs, seed)
-    memory = system.memory
-
-    input_addrs = {}
-    for name in kernel.input_names:
-        addr = memory.alloc_f64(kernel.input_length(name, n))
-        memory.write_f64(addr, inputs[name])
-        input_addrs[name] = addr
-    output_addrs = {}
-    for name in kernel.output_names:
-        alias = kernel.output_alias(name)
-        if alias is not None:
-            output_addrs[name] = input_addrs[alias]
-        else:
-            output_addrs[name] = memory.alloc_f64(
-                kernel.output_length(name, n, 1))
+    binding = JobBinding.bind_host(system, kernel_name, n, scalars=scalars,
+                                   inputs=inputs, seed=seed)
 
     result_box: typing.Dict[str, int] = {}
-    program = host_kernel_program(system, kernel, n, scalars, input_addrs,
-                                  output_addrs, result_box)
+    program = host_kernel_program(system, binding.kernel, n, binding.scalars,
+                                  binding.input_addrs, binding.output_addrs,
+                                  result_box)
     process = system.host.run_program(program, name=f"host.{kernel_name}")
-    _run_to_completion(system, process, DEFAULT_MAX_CYCLES)
+    run_to_completion(system, process, max_cycles)
     system.run()
 
-    outputs = {
-        name: memory.read_f64(output_addrs[name],
-                              kernel.output_length(name, n, 1))
-        for name in kernel.output_names
-    }
-    verified = None
-    if verify:
-        _verify_outputs(kernel, n, 1, scalars, inputs, outputs)
-        verified = True
+    outputs, verified = binding.finish(verify)
     return HostRunResult(
         kernel_name=kernel_name, n=n,
         runtime_cycles=result_box["end_cycle"] - result_box["start_cycle"],
         outputs=outputs, verified=verified)
-
-
-# ----------------------------------------------------------------------
-# Internals
-# ----------------------------------------------------------------------
-def _check_offload_shape(system: ManticoreSystem, kernel: Kernel, n: int,
-                         num_clusters: int,
-                         double_buffered: bool = False) -> None:
-    config = system.config
-    if not 0 < num_clusters <= config.num_clusters:
-        raise OffloadError(
-            f"cannot offload to {num_clusters} clusters on a "
-            f"{config.num_clusters}-cluster fabric")
-    largest = split_range(n, num_clusters)[0]
-    footprint = kernel.slice_tcdm_bytes(largest.lo, largest.hi, n)
-    if double_buffered:
-        # Chunking divides the working set, so a whole slice never has
-        # to fit; the device runtime re-checks its chosen chunk pair.
-        return
-    if footprint > config.tcdm_bytes:
-        raise OffloadError(
-            f"{kernel.name}(n={n}) on {num_clusters} clusters needs "
-            f"{footprint} bytes of TCDM per cluster but only "
-            f"{config.tcdm_bytes} are available; increase num_clusters "
-            "or shrink the job (or use exec_mode='double_buffered')")
-
-
-def _prepare_inputs(kernel: Kernel, n: int,
-                    inputs: typing.Optional[typing.Mapping[str, numpy.ndarray]],
-                    seed: int) -> typing.Dict[str, numpy.ndarray]:
-    if inputs is None:
-        rng = numpy.random.default_rng(seed)
-        return kernel.make_inputs(n, rng)
-    prepared = {}
-    for name in kernel.input_names:
-        if name not in inputs:
-            raise OffloadError(f"missing input buffer {name!r}")
-        array = numpy.asarray(inputs[name], dtype=numpy.float64)
-        expected = kernel.input_length(name, n)
-        if array.size != expected:
-            raise OffloadError(
-                f"input {name!r} has {array.size} elements, "
-                f"kernel {kernel.name!r} expects {expected} for n={n}")
-        prepared[name] = array
-    return prepared
-
-
-def _run_to_completion(system: ManticoreSystem, process,
-                       max_cycles: int) -> None:
-    try:
-        system.sim.run(until=process, max_cycles=max_cycles)
-    except CycleLimitError:
-        raise OffloadError(
-            f"offload exceeded {max_cycles} cycles; the completion "
-            "protocol likely deadlocked") from None
-    except DeadlockError:
-        raise OffloadError(
-            "simulation ran out of events before the offload "
-            "completed (lost doorbell or completion signal)") from None
-
-
-def _verify_outputs(kernel: Kernel, n: int, num_clusters: int,
-                    scalars, inputs, outputs) -> None:
-    expected = kernel.reference(n, scalars, inputs, num_clusters)
-    for name, want in expected.items():
-        got = outputs[name]
-        if not numpy.allclose(got, want, rtol=1e-10, atol=1e-12):
-            worst = int(numpy.argmax(numpy.abs(got - want)))
-            raise OffloadError(
-                f"{kernel.name} output {name!r} mismatches the reference "
-                f"(first/worst at index {worst}: got {got[worst]}, "
-                f"want {want[worst]})")

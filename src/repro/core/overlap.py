@@ -8,8 +8,10 @@ and synchronize only when the host actually needs the result.
 much of the host work the offload hides — up to the full accelerator
 runtime, for free.
 
-This composes the pieces the reproduction already has: the offload
-protocol (:mod:`repro.runtime.protocol`), host kernel execution
+This composes the pieces the reproduction already has: the staging
+layer (:class:`repro.core.staging.JobBinding` binds both the
+accelerator job and the host job), the offload protocol
+(:mod:`repro.runtime.protocol`), host kernel execution
 (:mod:`repro.runtime.hostexec`), and the level-pending interrupt
 semantics that make "IRQ arrived while the host was busy" race-free.
 """
@@ -21,16 +23,8 @@ import typing
 
 import numpy
 
-from repro import abi
-from repro.core.offload import (
-    DEFAULT_MAX_CYCLES,
-    _check_offload_shape,
-    _prepare_inputs,
-    _run_to_completion,
-    _verify_outputs,
-)
+from repro.core.staging import DEFAULT_MAX_CYCLES, JobBinding, run_to_completion
 from repro.kernels.base import WorkSlice
-from repro.kernels.registry import get_kernel
 from repro.runtime.api import make_runtime
 from repro.soc.manticore import ManticoreSystem
 
@@ -76,102 +70,43 @@ def offload_overlapped(system: ManticoreSystem, accel_kernel: str,
     Returns measured totals plus both jobs' outputs (each verified
     against its kernel's reference when ``verify``).
     """
-    kernel = get_kernel(accel_kernel)
-    accel_scalars = dict(accel_scalars) if accel_scalars else {
-        name: 1.0 for name in kernel.scalar_names}
-    kernel.validate(accel_n, accel_scalars)
-    _check_offload_shape(system, kernel, accel_n, num_clusters)
-
-    hkernel = get_kernel(host_kernel)
-    host_scalars = dict(host_scalars) if host_scalars else {
-        name: 1.0 for name in hkernel.scalar_names}
-    hkernel.validate(host_n, host_scalars)
-
-    memory = system.memory
     runtime = make_runtime(system, variant)
+    memory = system.memory
 
-    # --- Stage the accelerator job --------------------------------------
-    accel_inputs = _prepare_inputs(kernel, accel_n, None, seed)
-    input_addrs = {}
-    for name in kernel.input_names:
-        addr = memory.alloc_f64(kernel.input_length(name, accel_n))
-        memory.write_f64(addr, accel_inputs[name])
-        input_addrs[name] = addr
-    output_addrs = {}
-    for name in kernel.output_names:
-        alias = kernel.output_alias(name)
-        output_addrs[name] = (input_addrs[alias] if alias is not None
-                              else memory.alloc_f64(kernel.output_length(
-                                  name, accel_n, num_clusters)))
-    flag_addr = None
-    if runtime.sync_mode == abi.SYNC_MODE_AMO:
-        flag_addr = memory.alloc(8)
-        completion_addr = flag_addr
-    else:
-        completion_addr = system.syncunit_increment_addr
-    desc = abi.JobDescriptor(
-        kernel_name=accel_kernel, n=accel_n, num_clusters=num_clusters,
-        sync_mode=runtime.sync_mode, completion_addr=completion_addr,
-        scalars=accel_scalars, input_addrs=input_addrs,
-        output_addrs=output_addrs)
-    desc_addr = memory.alloc(8 * max(desc.words, 8), align=64)
-
-    # --- Stage the host job ------------------------------------------------
-    host_inputs = _prepare_inputs(hkernel, host_n, None, seed + 1)
-    host_in_addrs = {}
-    for name in hkernel.input_names:
-        addr = memory.alloc_f64(hkernel.input_length(name, host_n))
-        memory.write_f64(addr, host_inputs[name])
-        host_in_addrs[name] = addr
-    host_out_addrs = {}
-    for name in hkernel.output_names:
-        alias = hkernel.output_alias(name)
-        host_out_addrs[name] = (host_in_addrs[alias] if alias is not None
-                                else memory.alloc_f64(hkernel.output_length(
-                                    name, host_n, 1)))
+    # Stage both jobs: the accelerator job first (descriptor and
+    # completion resources included), then the host job's operands.
+    accel = JobBinding.bind(system, runtime, accel_kernel, accel_n,
+                            num_clusters, scalars=accel_scalars, seed=seed)
+    host_job = JobBinding.bind_host(system, host_kernel, host_n,
+                                    scalars=host_scalars, seed=seed + 1)
+    hkernel = host_job.kernel
 
     def host_work() -> typing.Generator:
         yield from system.host.execute(hkernel.host_compute_cycles(host_n))
         inputs = {name: memory.read_f64(addr,
                                         hkernel.input_length(name, host_n))
-                  for name, addr in host_in_addrs.items()}
+                  for name, addr in host_job.input_addrs.items()}
         work = WorkSlice(index=0, lo=0, hi=host_n)
         for name in hkernel.output_names:
             alias = hkernel.output_alias(name)
             if alias is not None:
                 length = hkernel.output_length(name, host_n, 1)
-                memory.write_f64(host_out_addrs[name],
+                memory.write_f64(host_job.output_addrs[name],
                                  inputs[alias][:length])
         for name, (start, values) in hkernel.compute_slice(
-                host_n, host_scalars, inputs, work).items():
-            memory.write_f64(host_out_addrs[name] + 8 * start, values)
+                host_n, host_job.scalars, inputs, work).items():
+            memory.write_f64(host_job.output_addrs[name] + 8 * start, values)
 
-    # --- Run ----------------------------------------------------------------
     result_box: typing.Dict[str, int] = {}
     program = runtime.overlapped_offload_program(
-        desc, desc_addr, flag_addr, host_work, result_box)
+        accel.desc, accel.desc_addr, accel.flag_addr, host_work, result_box)
     process = system.host.run_program(program, name="offload.overlapped")
-    _run_to_completion(system, process, max_cycles)
+    run_to_completion(system, process, max_cycles)
     system.run()
 
-    accel_outputs = {
-        name: memory.read_f64(output_addrs[name],
-                              kernel.output_length(name, accel_n,
-                                                   num_clusters))
-        for name in kernel.output_names
-    }
-    host_outputs = {
-        name: memory.read_f64(host_out_addrs[name],
-                              hkernel.output_length(name, host_n, 1))
-        for name in hkernel.output_names
-    }
-    verified = None
-    if verify:
-        _verify_outputs(kernel, accel_n, num_clusters, accel_scalars,
-                        accel_inputs, accel_outputs)
-        _verify_outputs(hkernel, host_n, 1, host_scalars, host_inputs,
-                        host_outputs)
-        verified = True
+    accel_outputs, accel_verified = accel.finish(verify)
+    host_outputs, _host_verified = host_job.finish(verify)
+    verified = True if accel_verified else None
 
     total = result_box["end_cycle"] - result_box["start_cycle"]
     host_done = result_box["host_work_done_cycle"] - result_box["start_cycle"]

@@ -1,0 +1,293 @@
+"""The staging layer: binding one job's operands to a system.
+
+Every launch shape — a plain offload, a host-executed job, an
+overlapped pair, a space-shared concurrent batch — prepares jobs the
+same way: validate the request, generate or check the input buffers,
+stage them into main memory, allocate outputs (resolving in-place
+aliases), allocate the completion flag, encode the descriptor, and —
+after the run — collect and verify the outputs.  :class:`JobBinding`
+owns that lifecycle so the launch entry points in
+:mod:`repro.core.offload`, :mod:`repro.core.overlap` and
+:mod:`repro.core.concurrent` compose it instead of duplicating it.
+
+Allocation order is part of the measured contract: operand addresses
+feed the interconnect's routing and the completion flag's watchpoint
+fast path, so :meth:`JobBinding.bind` performs its allocations in
+exactly the historical order (inputs, outputs, flag, descriptor) —
+bindings are bit-identical to the code they replaced (asserted by
+``tests/integration/test_cycle_identity.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro import abi
+from repro.errors import CycleLimitError, DeadlockError, OffloadError
+from repro.kernels.base import Kernel, split_range
+from repro.kernels.registry import get_kernel
+from repro.soc.manticore import ManticoreSystem
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.protocol import OffloadRuntime
+
+#: Simulation-cycle guard against runaway offloads (a 1024-element DAXPY
+#: takes around a thousand cycles; nothing sane needs a billion).
+DEFAULT_MAX_CYCLES = 1_000_000_000
+
+#: ``exec_mode`` argument values accepted by the offload entry points.
+EXEC_MODES = {
+    "phased": abi.EXEC_MODE_PHASED,
+    "double_buffered": abi.EXEC_MODE_DOUBLE_BUFFERED,
+}
+
+
+# ----------------------------------------------------------------------
+# Building blocks (validation, staging, run, verification)
+# ----------------------------------------------------------------------
+def check_offload_shape(system: ManticoreSystem, kernel: Kernel, n: int,
+                        num_clusters: int,
+                        double_buffered: bool = False) -> None:
+    """Validate that a job's widest slice fits the target hardware."""
+    config = system.config
+    if not 0 < num_clusters <= config.num_clusters:
+        raise OffloadError(
+            f"cannot offload to {num_clusters} clusters on a "
+            f"{config.num_clusters}-cluster fabric")
+    largest = split_range(n, num_clusters)[0]
+    footprint = kernel.slice_tcdm_bytes(largest.lo, largest.hi, n)
+    if double_buffered:
+        # Chunking divides the working set, so a whole slice never has
+        # to fit; the device runtime re-checks its chosen chunk pair.
+        return
+    if footprint > config.tcdm_bytes:
+        raise OffloadError(
+            f"{kernel.name}(n={n}) on {num_clusters} clusters needs "
+            f"{footprint} bytes of TCDM per cluster but only "
+            f"{config.tcdm_bytes} are available; increase num_clusters "
+            "or shrink the job (or use exec_mode='double_buffered')")
+
+
+def prepare_inputs(kernel: Kernel, n: int,
+                   inputs: typing.Optional[
+                       typing.Mapping[str, numpy.ndarray]],
+                   seed: int) -> typing.Dict[str, numpy.ndarray]:
+    """Generate deterministic inputs, or validate caller-provided ones."""
+    if inputs is None:
+        rng = numpy.random.default_rng(seed)
+        return kernel.make_inputs(n, rng)
+    prepared = {}
+    for name in kernel.input_names:
+        if name not in inputs:
+            raise OffloadError(f"missing input buffer {name!r}")
+        array = numpy.asarray(inputs[name], dtype=numpy.float64)
+        expected = kernel.input_length(name, n)
+        if array.size != expected:
+            raise OffloadError(
+                f"input {name!r} has {array.size} elements, "
+                f"kernel {kernel.name!r} expects {expected} for n={n}")
+        prepared[name] = array
+    return prepared
+
+
+def run_to_completion(system: ManticoreSystem, process,
+                      max_cycles: int) -> None:
+    """Run the simulation until ``process`` finishes, or fail loudly."""
+    try:
+        system.sim.run(until=process, max_cycles=max_cycles)
+    except CycleLimitError:
+        raise OffloadError(
+            f"offload exceeded {max_cycles} cycles; the completion "
+            "protocol likely deadlocked") from None
+    except DeadlockError:
+        raise OffloadError(
+            "simulation ran out of events before the offload "
+            "completed (lost doorbell or completion signal)") from None
+
+
+def verify_outputs(kernel: Kernel, n: int, num_clusters: int,
+                   scalars, inputs, outputs) -> None:
+    """Check measured outputs against the kernel's reference model."""
+    expected = kernel.reference(n, scalars, inputs, num_clusters)
+    for name, want in expected.items():
+        got = outputs[name]
+        if not numpy.allclose(got, want, rtol=1e-10, atol=1e-12):
+            worst = int(numpy.argmax(numpy.abs(got - want)))
+            raise OffloadError(
+                f"{kernel.name} output {name!r} mismatches the reference "
+                f"(first/worst at index {worst}: got {got[worst]}, "
+                f"want {want[worst]})")
+
+
+def resolve_scalars(kernel: Kernel,
+                    scalars: typing.Optional[typing.Mapping[str, float]]
+                    ) -> typing.Dict[str, float]:
+    """Default every kernel scalar to 1.0 when the caller gave none."""
+    if scalars:
+        return dict(scalars)
+    return {name: 1.0 for name in kernel.scalar_names}
+
+
+# ----------------------------------------------------------------------
+# The binding object
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class JobBinding:
+    """One job's operands, staged into a system and ready to launch.
+
+    Built by :meth:`bind` (offloaded jobs: full descriptor + completion
+    resources) or :meth:`bind_host` (host-executed jobs: operands
+    only).  After the run, :meth:`collect_outputs` reads the output
+    buffers back and :meth:`verify` checks them against the kernel's
+    reference model.
+    """
+
+    system: ManticoreSystem
+    kernel: Kernel
+    n: int
+    num_clusters: int
+    scalars: typing.Dict[str, float]
+    inputs: typing.Dict[str, numpy.ndarray]
+    input_addrs: typing.Dict[str, int]
+    output_addrs: typing.Dict[str, int]
+    #: Completion-flag address (flag-based completion only).
+    flag_addr: typing.Optional[int] = None
+    #: Encoded job descriptor (offloaded jobs only).
+    desc: typing.Optional[abi.JobDescriptor] = None
+    #: Where the descriptor lives in shared memory (offloaded only).
+    desc_addr: typing.Optional[int] = None
+
+    @classmethod
+    def bind(cls, system: ManticoreSystem, runtime: "OffloadRuntime",
+             kernel_name: str, n: int, num_clusters: int,
+             scalars: typing.Optional[typing.Mapping[str, float]] = None,
+             inputs: typing.Optional[
+                 typing.Mapping[str, numpy.ndarray]] = None,
+             seed: int = 0, exec_mode: str = "phased",
+             first_cluster: int = 0) -> "JobBinding":
+        """Validate, stage and describe one offloaded job.
+
+        Performs the full pre-launch lifecycle: request validation,
+        input preparation, operand staging (inputs, then outputs with
+        in-place aliases resolved), completion-resource allocation via
+        the runtime's completion strategy, descriptor encoding and
+        descriptor-slot allocation — in exactly that order.
+        """
+        kernel = get_kernel(kernel_name)
+        scalars = resolve_scalars(kernel, scalars)
+        kernel.validate(n, scalars)
+        if exec_mode not in EXEC_MODES:
+            raise OffloadError(
+                f"unknown exec mode {exec_mode!r}; available: "
+                f"{', '.join(sorted(EXEC_MODES))}")
+        if exec_mode == "double_buffered":
+            for name in kernel.output_names:
+                if kernel.output_length(name, n, num_clusters) != n:
+                    raise OffloadError(
+                        f"double buffering requires an element-wise kernel; "
+                        f"{kernel_name!r} output {name!r} depends on the "
+                        "offload shape")
+        check_offload_shape(system, kernel, n, num_clusters,
+                            double_buffered=(exec_mode == "double_buffered"))
+        inputs = prepare_inputs(kernel, n, inputs, seed)
+
+        memory = system.memory
+        input_addrs, output_addrs = cls._stage_operands(
+            memory, kernel, n, num_clusters, inputs)
+
+        flag_addr = None
+        if runtime.completion_strategy.uses_flag:
+            flag_addr = memory.alloc(8)
+        completion_addr = runtime.completion_addr(flag_addr)
+
+        desc = abi.JobDescriptor(
+            kernel_name=kernel_name, n=n, num_clusters=num_clusters,
+            first_cluster=first_cluster, sync_mode=runtime.sync_mode,
+            completion_addr=completion_addr,
+            exec_mode=EXEC_MODES[exec_mode], scalars=scalars,
+            input_addrs=input_addrs, output_addrs=output_addrs)
+        desc_addr = memory.alloc(8 * max(desc.words, 8), align=64)
+        return cls(system=system, kernel=kernel, n=n,
+                   num_clusters=num_clusters, scalars=scalars,
+                   inputs=inputs, input_addrs=input_addrs,
+                   output_addrs=output_addrs, flag_addr=flag_addr,
+                   desc=desc, desc_addr=desc_addr)
+
+    @classmethod
+    def bind_host(cls, system: ManticoreSystem, kernel_name: str, n: int,
+                  scalars: typing.Optional[
+                      typing.Mapping[str, float]] = None,
+                  inputs: typing.Optional[
+                      typing.Mapping[str, numpy.ndarray]] = None,
+                  seed: int = 0) -> "JobBinding":
+        """Validate and stage a job the host core will run itself.
+
+        Same staging as :meth:`bind`, minus everything offload-specific:
+        no shape check (the host streams from shared memory), no
+        completion flag, no descriptor.
+        """
+        kernel = get_kernel(kernel_name)
+        scalars = resolve_scalars(kernel, scalars)
+        kernel.validate(n, scalars)
+        inputs = prepare_inputs(kernel, n, inputs, seed)
+        input_addrs, output_addrs = cls._stage_operands(
+            system.memory, kernel, n, 1, inputs)
+        return cls(system=system, kernel=kernel, n=n, num_clusters=1,
+                   scalars=scalars, inputs=inputs, input_addrs=input_addrs,
+                   output_addrs=output_addrs)
+
+    @staticmethod
+    def _stage_operands(memory, kernel: Kernel, n: int, num_clusters: int,
+                        inputs: typing.Mapping[str, numpy.ndarray]
+                        ) -> typing.Tuple[typing.Dict[str, int],
+                                          typing.Dict[str, int]]:
+        """Allocate and fill inputs, then allocate (or alias) outputs."""
+        input_addrs = {}
+        for name in kernel.input_names:
+            addr = memory.alloc_f64(kernel.input_length(name, n))
+            memory.write_f64(addr, inputs[name])
+            input_addrs[name] = addr
+        output_addrs = {}
+        for name in kernel.output_names:
+            alias = kernel.output_alias(name)
+            if alias is not None:
+                output_addrs[name] = input_addrs[alias]
+            else:
+                output_addrs[name] = memory.alloc_f64(
+                    kernel.output_length(name, n, num_clusters))
+        return input_addrs, output_addrs
+
+    # ------------------------------------------------------------------
+    # Post-run collection and verification
+    # ------------------------------------------------------------------
+    def collect_outputs(self) -> typing.Dict[str, numpy.ndarray]:
+        """Read every output buffer back from main memory."""
+        memory = self.system.memory
+        return {
+            name: memory.read_f64(
+                self.output_addrs[name],
+                self.kernel.output_length(name, self.n, self.num_clusters))
+            for name in self.kernel.output_names
+        }
+
+    def verify(self, outputs: typing.Mapping[str, numpy.ndarray]) -> None:
+        """Check collected outputs against the kernel's reference model."""
+        verify_outputs(self.kernel, self.n, self.num_clusters, self.scalars,
+                       self.inputs, outputs)
+
+    def finish(self, verify: bool) -> typing.Tuple[
+            typing.Dict[str, numpy.ndarray], typing.Optional[bool]]:
+        """Collect outputs and optionally verify them in one step.
+
+        Returns ``(outputs, verified)`` where ``verified`` is ``True``
+        after a successful check and ``None`` when skipped — the shape
+        every result dataclass records.
+        """
+        outputs = self.collect_outputs()
+        if not verify:
+            return outputs, None
+        self.verify(outputs)
+        return outputs, True

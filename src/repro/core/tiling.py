@@ -24,7 +24,8 @@ import typing
 
 import numpy
 
-from repro.core.offload import offload, _prepare_inputs
+from repro.core.offload import offload
+from repro.core.staging import prepare_inputs
 from repro.errors import OffloadError
 from repro.kernels.base import split_range
 from repro.kernels.registry import get_kernel
@@ -114,7 +115,7 @@ def offload_tiled(system: ManticoreSystem, kernel_name: str, n: int,
         raise OffloadError(
             f"tile size must be positive, got {tile_elements}")
 
-    inputs = _prepare_inputs(kernel, n, inputs, seed)
+    inputs = prepare_inputs(kernel, n, inputs, seed)
     num_tiles = -(-n // tile_elements)
     tiles = split_range(n, num_tiles)
 

@@ -1,0 +1,83 @@
+"""Environment-variable gates, in one place.
+
+Every behavioural override the reproduction honours is a ``REPRO_*``
+environment variable, and every one of them is read through an accessor
+in this module — so tests, benchmarks and docs have a single source of
+truth for what can be toggled and what each toggle means.
+
+========================= ============================================
+variable                  effect
+========================= ============================================
+``REPRO_NAIVE_POLL``      baseline completion wait simulates every
+                          poll iteration instead of the cycle-exact
+                          watchpoint fast-forward
+``REPRO_LINEAR_ROUTING``  address maps fall back to the unsorted
+                          linear region scan (pre-bisect routing);
+                          sampled at map construction time
+``REPRO_FRESH_SYSTEMS``   system pools construct a fresh SoC for
+                          every acquire instead of resetting and
+                          reusing pooled instances
+``REPRO_CACHE_DIR``       relocates the on-disk sweep cache
+========================= ============================================
+
+All boolean gates follow the same convention: *set to any non-empty
+string* means enabled, unset or empty means disabled.  Accessors read
+``os.environ`` on every call, so tests can flip gates with
+``monkeypatch.setenv`` without re-importing anything.
+
+This module sits at the very bottom of the import ladder (it imports
+only the standard library), so any layer may use it.
+"""
+
+from __future__ import annotations
+
+import os
+import typing
+
+#: Environment variable: when set (non-empty), the baseline completion
+#: wait simulates every poll iteration instead of fast-forwarding.
+#: Used by the A/B property tests proving the fast path is cycle-exact.
+NAIVE_POLL_ENV = "REPRO_NAIVE_POLL"
+
+#: Environment variable: when set (non-empty) at map construction time,
+#: ``region_at`` falls back to the unsorted linear scan (and port
+#: routers bypass their hit slots).  Routing is functional, so this is
+#: purely an A/B lever for benchmarking the bisect + hit-cache routing
+#: against the original implementation; results are identical.
+LINEAR_ROUTING_ENV = "REPRO_LINEAR_ROUTING"
+
+#: Environment variable: when set (non-empty), pools build a fresh
+#: system for every acquire and discard it on release.
+FRESH_SYSTEMS_ENV = "REPRO_FRESH_SYSTEMS"
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Every gate this module owns, for introspection and for benchmarks
+#: that must run with a known-clean environment.
+ALL_GATES = (NAIVE_POLL_ENV, LINEAR_ROUTING_ENV, FRESH_SYSTEMS_ENV,
+             CACHE_DIR_ENV)
+
+
+def _enabled(name: str) -> bool:
+    return bool(os.environ.get(name))
+
+
+def naive_poll() -> bool:
+    """Whether ``REPRO_NAIVE_POLL`` forces the reference poll loop."""
+    return _enabled(NAIVE_POLL_ENV)
+
+
+def linear_routing() -> bool:
+    """Whether ``REPRO_LINEAR_ROUTING`` selects linear-scan routing."""
+    return _enabled(LINEAR_ROUTING_ENV)
+
+
+def fresh_systems() -> bool:
+    """Whether ``REPRO_FRESH_SYSTEMS`` disables system pooling."""
+    return _enabled(FRESH_SYSTEMS_ENV)
+
+
+def cache_dir() -> typing.Optional[str]:
+    """The ``REPRO_CACHE_DIR`` override, or ``None`` when unset/empty."""
+    return os.environ.get(CACHE_DIR_ENV) or None

@@ -4,18 +4,15 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
-import os
 import typing
 
+from repro import flags
 from repro.errors import MemoryError_
 from repro.mem.memory import MainMemory
 
-#: Environment variable: when set (non-empty) at map construction time,
-#: ``region_at`` falls back to the unsorted linear scan (and port
-#: routers bypass their hit slots).  Routing is functional, so this is
-#: purely an A/B lever for benchmarking the bisect + hit-cache routing
-#: against the original implementation; results are identical.
-LINEAR_ROUTING_ENV = "REPRO_LINEAR_ROUTING"
+#: Re-exported from :mod:`repro.flags`, the single source of truth for
+#: every ``REPRO_*`` gate; kept here for backwards compatibility.
+LINEAR_ROUTING_ENV = flags.LINEAR_ROUTING_ENV
 
 
 class MmioDevice:
@@ -157,7 +154,7 @@ class AddressMap:
         self._watchpoints: typing.Dict[int, typing.Callable[[int], None]] = {}
         #: A/B lever (see :data:`LINEAR_ROUTING_ENV`): sampled once at
         #: construction so the hot path pays one attribute read.
-        self._linear = bool(os.environ.get(LINEAR_ROUTING_ENV))
+        self._linear = flags.linear_routing()
         self._router = PortRouter(self)
 
     def add(self, region: Region) -> Region:

@@ -1,19 +1,18 @@
-"""Runtime variant registry and factory."""
+"""Runtime variant factory, resolving through the strategy registry."""
 
 from __future__ import annotations
 
-import typing
-
-from repro.errors import OffloadError
 from repro.runtime.protocol import OffloadRuntime
+from repro.runtime.strategies import get_variant, variant_for_features
 from repro.soc.config import VARIANT_FEATURES
 from repro.soc.manticore import ManticoreSystem
 
-#: Variant name → (use_multicast, use_hw_sync).  An alias of
-#: :data:`repro.soc.config.VARIANT_FEATURES`, kept for backwards
-#: compatibility; the config module owns the mapping so
-#: ``SoCConfig.for_variant`` and the runtime factory cannot drift.
-RUNTIME_VARIANTS: typing.Dict[str, typing.Tuple[bool, bool]] = VARIANT_FEATURES
+#: Variant name → (use_multicast, use_hw_sync).  A live view of the
+#: strategy registry (:mod:`repro.runtime.strategies`), kept under its
+#: historical name for backwards compatibility; registering a new
+#: variant makes it appear here, in ``SoCConfig.for_variant``, and in
+#: :func:`make_runtime` at once.
+RUNTIME_VARIANTS = VARIANT_FEATURES
 
 
 def make_runtime(system: ManticoreSystem,
@@ -22,7 +21,8 @@ def make_runtime(system: ManticoreSystem,
 
     ``variant="auto"`` uses every extension the hardware provides (a
     baseline SoC gets the baseline routine, an extended SoC the extended
-    one); the explicit names select a software variant, which must be
+    one); the explicit names select a registered variant
+    (:func:`repro.runtime.strategies.register_variant`), which must be
     supported by the hardware.
 
     Raises
@@ -31,15 +31,8 @@ def make_runtime(system: ManticoreSystem,
         On unknown variant names or software/hardware mismatches.
     """
     if variant == "auto":
-        flags = (system.config.multicast, system.config.hw_sync)
+        spec = variant_for_features(system.config.multicast,
+                                    system.config.hw_sync)
     else:
-        try:
-            flags = RUNTIME_VARIANTS[variant]
-        except KeyError:
-            raise OffloadError(
-                f"unknown runtime variant {variant!r}; available: "
-                f"auto, {', '.join(sorted(RUNTIME_VARIANTS))}"
-            ) from None
-    use_multicast, use_hw_sync = flags
-    return OffloadRuntime(system, use_multicast=use_multicast,
-                          use_hw_sync=use_hw_sync)
+        spec = get_variant(variant)
+    return OffloadRuntime.from_spec(system, spec)

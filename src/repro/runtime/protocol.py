@@ -1,40 +1,61 @@
-"""The offload protocol: the host program for one job.
+"""The offload protocol: the host program for one launch.
 
 The program below is the simulated equivalent of the C offload routine
-running on CVA6.  Its structure (and where the cycles go) is:
+running on CVA6.  Every launch — plain, overlapped with host work, or
+a space-shared concurrent batch — is one parameterization of the same
+explicit phase sequence:
 
-1. *Setup*: runtime-entry bookkeeping, then store the job descriptor to
-   shared memory word by word.  All but the last store are posted; the
-   last is non-posted and acts as the release fence guaranteeing the
-   descriptor is visible before any doorbell rings.
+1. *Setup*: runtime-entry bookkeeping, then store each job descriptor
+   to shared memory word by word.  All but the very last store are
+   posted; the last is non-posted and acts as the release fence
+   guaranteeing every descriptor is visible before any doorbell rings.
 2. *Arm completion*: write the sync-unit THRESHOLD (extended) or zero
-   the shared completion flag (baseline).
-3. *Dispatch*: ring each selected cluster's doorbell with the
-   descriptor pointer — a sequential store loop (baseline, cost linear
-   in M) or a single multicast store (extension, constant cost).
-4. *Wait*: WFI until the sync unit's interrupt (extended), or poll the
-   completion flag until it reaches M (baseline).
+   each job's shared completion flag (baseline) — delegated to the
+   runtime's :class:`~repro.runtime.strategies.CompletionStrategy`.
+3. *Dispatch*: ring each job's doorbells — a sequential store loop
+   (baseline, cost linear in M) or a single multicast store (extension,
+   constant cost) — delegated to the runtime's
+   :class:`~repro.runtime.strategies.DispatchStrategy`.
+4. *Overlapped host work* (optional): run a host program fragment
+   while the fabric executes; the paper's co-operative pattern.
+5. *Wait*: WFI until the sync unit's interrupt (extended), or poll
+   each completion flag until it reaches the job's cluster count
+   (baseline).
+
+Trace records are uniform across launch shapes: ``offload_start``,
+``descriptor_written``, ``dispatch_start``, ``dispatch_done``,
+optionally ``host_work_done``, and ``offload_end``.
 """
 
 from __future__ import annotations
 
-import os
 import typing
 
-from repro import abi
-from repro.errors import MemoryError_, OffloadError
-from repro.mem.map import MmioDevice
+from repro import abi, flags
+from repro.errors import OffloadError
+from repro.runtime.strategies import (
+    CompletionStrategy,
+    DispatchStrategy,
+    MULTICAST,
+    SEQUENTIAL_STORE,
+    AMO_POLL,
+    SYNC_UNIT_WFI,
+    VariantSpec,
+    variant_for_features,
+)
 from repro.soc.manticore import ManticoreSystem
-from repro.soc.syncunit import IRQ_LINE
 
-#: Environment variable: when set (non-empty), the baseline completion
-#: wait simulates every poll iteration instead of fast-forwarding.
-#: Used by the A/B property tests proving the fast path is cycle-exact.
-NAIVE_POLL_ENV = "REPRO_NAIVE_POLL"
+#: Re-exported from :mod:`repro.flags` for backwards compatibility;
+#: see there for semantics (the A/B lever of the poll fast path).
+NAIVE_POLL_ENV = flags.NAIVE_POLL_ENV
+
+#: One job in a launch: its descriptor and, for flag-based completion,
+#: the address of its completion flag (``None`` otherwise).
+LaunchJob = typing.Tuple[abi.JobDescriptor, typing.Optional[int]]
 
 
 class OffloadRuntime:
-    """Host-side offload routine with selectable dispatch/completion.
+    """Host-side offload routine with pluggable dispatch/completion.
 
     Parameters
     ----------
@@ -43,223 +64,185 @@ class OffloadRuntime:
         hardware configuration.
     use_multicast:
         Dispatch with one multicast store instead of a store loop.
+        Ignored when ``dispatch`` is given explicitly.
     use_hw_sync:
         Complete via the credit-counter unit's interrupt instead of
-        AMO-and-poll.
+        AMO-and-poll.  Ignored when ``completion`` is given explicitly.
     name:
-        Variant label recorded into results.
+        Variant label recorded into results; defaults to the registered
+        variant name matching the chosen strategies.
+    dispatch, completion:
+        Explicit strategy instances (normally resolved from the
+        registry via :func:`repro.runtime.api.make_runtime`).
     """
 
-    def __init__(self, system: ManticoreSystem, use_multicast: bool,
-                 use_hw_sync: bool, name: str = "") -> None:
+    def __init__(self, system: ManticoreSystem, use_multicast: bool = False,
+                 use_hw_sync: bool = False, name: str = "",
+                 dispatch: typing.Optional[DispatchStrategy] = None,
+                 completion: typing.Optional[CompletionStrategy] = None
+                 ) -> None:
+        if dispatch is None:
+            dispatch = MULTICAST if use_multicast else SEQUENTIAL_STORE
+        if completion is None:
+            completion = SYNC_UNIT_WFI if use_hw_sync else AMO_POLL
         config = system.config
-        if use_multicast and not config.multicast:
+        if dispatch.requires_multicast and not config.multicast:
             raise OffloadError(
                 "runtime requests multicast dispatch but the SoC was built "
                 "without the multicast extension (build the system from "
                 "SoCConfig.for_variant('multicast_only') or 'extended')")
-        if use_hw_sync and not config.hw_sync:
+        if completion.requires_hw_sync and not config.hw_sync:
             raise OffloadError(
                 "runtime requests hardware synchronization but the SoC was "
                 "built without the sync unit enabled (build the system from "
                 "SoCConfig.for_variant('hw_sync_only') or 'extended')")
         self.system = system
-        self.use_multicast = use_multicast
-        self.use_hw_sync = use_hw_sync
+        self.dispatch_strategy = dispatch
+        self.completion_strategy = completion
+        self.use_multicast = dispatch.requires_multicast
+        self.use_hw_sync = completion.requires_hw_sync
         self.name = name or self._default_name()
 
+    @classmethod
+    def from_spec(cls, system: ManticoreSystem,
+                  spec: VariantSpec) -> "OffloadRuntime":
+        """Build a runtime from a registered variant spec."""
+        return cls(system, name=spec.name, dispatch=spec.dispatch,
+                   completion=spec.completion)
+
     def _default_name(self) -> str:
-        return {
-            (False, False): "baseline",
-            (True, False): "multicast_only",
-            (False, True): "hw_sync_only",
-            (True, True): "extended",
-        }[(self.use_multicast, self.use_hw_sync)]
+        """The registered variant name matching this runtime's strategies."""
+        return variant_for_features(self.use_multicast,
+                                    self.use_hw_sync).name
 
     @property
     def sync_mode(self) -> int:
         """The descriptor sync-mode field this runtime dispatches with."""
-        return abi.SYNC_MODE_SYNCUNIT if self.use_hw_sync else abi.SYNC_MODE_AMO
+        return self.completion_strategy.sync_mode
+
+    def completion_addr(self, flag_addr: typing.Optional[int]) -> int:
+        """The address clusters signal completion to (per job)."""
+        return self.completion_strategy.completion_addr(self.system,
+                                                        flag_addr)
 
     # ------------------------------------------------------------------
     # Protocol building blocks
     # ------------------------------------------------------------------
     def dispatch(self, desc: abi.JobDescriptor,
                  desc_addr: int) -> typing.Generator:
-        """Ring the doorbells of the job's cluster range.
-
-        One multicast store (extension), a plain store for
-        single-cluster jobs, or the baseline's sequential store loop.
-        """
-        system = self.system
-        host = system.host
-        config = system.config
-        first = desc.first_cluster
-        if self.use_multicast and desc.num_clusters > 1:
-            addrs = system.mailbox_addrs(desc.num_clusters, first)
-            yield from host.multicast_store(addrs, desc_addr)
-        elif self.use_multicast:
-            # A multicast of one would only pay the replication-tree
-            # latency; dispatch single-cluster jobs with a plain store.
-            yield from host.store_posted(system.mailbox_addr(first),
-                                         desc_addr)
-        else:
-            for cluster_id in range(first, first + desc.num_clusters):
-                yield from host.execute(config.host_addr_calc_cycles)
-                yield from host.store_posted(
-                    system.mailbox_addr(cluster_id), desc_addr)
-
-    def _poll_wait(self, flag_addr: int, threshold: int) -> typing.Generator:
-        """Poll the completion flag until it reaches ``threshold``.
-
-        The reference semantics are the baseline's software loop::
-
-            while True:
-                value = yield from host.load(flag_addr)   # round trip
-                if value >= threshold: break              # compare+branch
-                yield from host.execute(poll_gap)         # loop overhead
-
-        which costs the simulator one process wake-up per iteration —
-        O(runtime / poll period) events, the dominant event count for
-        long offloads.  The fast path below is cycle-exact and charges
-        identical statistics while collapsing the wait into O(1) events:
-        it simulates the *first* load for real, then parks on a
-        watchpoint at ``flag_addr``.  When the threshold-crossing write
-        lands (cycle ``t_w``), the iteration schedule is reconstructed
-        analytically.  With the host port otherwise idle, iteration
-        ``k``'s load reads the flag at ``u_k = u_0 + k * period`` where
-        ``period = load_occupancy + request_latency + response_latency +
-        poll_gap``.  A read in the same cycle as the write still
-        observes the *old* value — with ``request_latency > 0`` the read
-        resumes via the time heap, which the kernel drains before the
-        zero-delay FIFO that delivers the write — so the first
-        successful iteration is the first with ``u_k > t_w``.  The
-        skipped loads/compares/branches are charged in one step (logged
-        READ transactions at their true issue cycles, host-port
-        occupancy, retired-operation and load counters) and the host
-        resumes exactly at ``u_k + response_latency``.
-
-        The fast path requires ``request_latency > 0`` (the ordering
-        argument above) and a non-MMIO flag region (the arming peek must
-        be side-effect free); otherwise, or when ``REPRO_NAIVE_POLL`` is
-        set, the reference loop runs unchanged.
-        """
-        system = self.system
-        host = system.host
-        config = system.config
-        params = system.noc.params
-        gap = config.host_poll_gap_cycles
-
-        region = None
-        if not os.environ.get(NAIVE_POLL_ENV) and params.request_latency > 0:
-            try:
-                region = system.address_map.region_at(flag_addr)
-            except MemoryError_:
-                region = None
-            if region is not None and isinstance(region.target, MmioDevice):
-                region = None
-        if region is None:
-            while True:
-                value = yield from host.load(flag_addr)
-                if value >= threshold:
-                    return
-                yield from host.execute(gap)
-
-        sim = system.sim
-        memory = region.target
-        period = (params.load_occupancy + params.request_latency
-                  + params.response_latency + gap)
-
-        # Iteration 0 runs for real (it also absorbs any leftover host-
-        # port occupancy from the dispatch stores).
-        value = yield from host.load(flag_addr)
-        if value >= threshold:
-            return
-        read0 = sim.now - params.response_latency
-
-        # The crossing write may have landed in this very cycle, in the
-        # same zero-delay phase that resumed us, before a watchpoint
-        # could be armed — a side-effect-free functional peek catches it.
-        if memory.read_word(flag_addr) >= threshold:
-            crossed_at = sim.now
-        else:
-            crossed = sim.event(name=f"poll.virtual@{flag_addr:#x}")
-
-            def on_flag_write(new_value: int) -> None:
-                if new_value >= threshold and not crossed.triggered:
-                    crossed.trigger(new_value)
-
-            system.address_map.watch(flag_addr, on_flag_write)
-            try:
-                yield crossed
-            finally:
-                system.address_map.unwatch(flag_addr)
-            crossed_at = sim.now
-
-        # First iteration whose read strictly follows the crossing write.
-        success = (crossed_at - read0) // period + 1
-        first_issue = (read0 + period
-                       - params.load_occupancy - params.request_latency)
-        system.noc.charge_host_poll_reads(
-            flag_addr, first_issue, period, success)
-        host.lsu.loads_issued += success
-        # Per skipped iteration: one gap execute + one load.
-        host.retired_operations += 2 * success
-        resume_at = read0 + success * period + params.response_latency
-        yield sim.timer(resume_at - crossed_at, name="poll.fastforward")
+        """Ring the doorbells of the job's cluster range."""
+        return self.dispatch_strategy.dispatch(self.system, desc, desc_addr)
 
     # ------------------------------------------------------------------
-    # The host program
+    # The phase pipeline
     # ------------------------------------------------------------------
-    def offload_program(self, desc: abi.JobDescriptor, desc_addr: int,
-                        flag_addr: typing.Optional[int],
-                        result: typing.Dict[str, int]) -> typing.Generator:
-        """Build the host program for one offload.
+    def launch_program(
+            self,
+            jobs: typing.Sequence[typing.Tuple[abi.JobDescriptor, int]],
+            flag_addrs: typing.Optional[typing.Sequence[int]],
+            result: typing.Dict[str, int],
+            host_work: typing.Optional[
+                typing.Callable[[], typing.Generator]] = None,
+            ) -> typing.Generator:
+        """Build the host program for one launch of any shape.
 
-        ``result`` receives ``start_cycle`` and ``end_cycle``.
-        ``flag_addr`` is the polling flag (AMO completion only).
+        ``jobs`` pairs each descriptor with its *descriptor address*;
+        ``flag_addrs`` lists each job's completion-flag address (flag
+        completion only; the descriptors must already carry matching
+        ``completion_addr`` fields).  ``host_work``, when given, runs
+        between dispatch and wait — the overlapped launch.  ``result``
+        receives ``start_cycle``, ``end_cycle``, and (with host work)
+        ``host_work_done_cycle``.
+
+        A plain offload is a one-job launch; a concurrent launch lists
+        several jobs on disjoint cluster ranges.  The phase sequence —
+        setup, arm, dispatch, optional host work, wait — and every
+        cycle charged are identical across shapes.
         """
-        if not self.use_hw_sync and flag_addr is None:
-            raise OffloadError("AMO completion requires a flag address")
+        if not jobs:
+            raise OffloadError("concurrent offload of zero jobs")
+        completion = self.completion_strategy
+        if completion.uses_flag:
+            if flag_addrs is None or len(flag_addrs) != len(jobs):
+                raise OffloadError(
+                    "AMO completion requires one flag address per job")
+            completion_jobs: typing.List[LaunchJob] = [
+                (desc, flag) for (desc, _addr), flag
+                in zip(jobs, flag_addrs)]
+        else:
+            completion_jobs = [(desc, None) for desc, _addr in jobs]
+
         system = self.system
         host = system.host
         config = system.config
-        words = abi.encode_descriptor(desc)
+        if len(jobs) == 1:
+            start_data: typing.Any = jobs[0][0].kernel_name
+            written_data: typing.Any = len(abi.encode_descriptor(jobs[0][0]))
+        else:
+            start_data = [desc.kernel_name for desc, _addr in jobs]
+            written_data = len(jobs)
 
         def program() -> typing.Generator:
             result["start_cycle"] = system.sim.now
-            system.trace.record("host", "offload_start", desc.kernel_name)
+            system.trace.record("host", "offload_start", start_data)
 
-            # --- 1. Setup: runtime entry + descriptor store -------------
+            # --- 1. Setup: runtime entry + all descriptors ---------------
             yield from host.execute(config.host_setup_cycles)
-            for word_index, word in enumerate(words[:-1]):
-                yield from host.store_posted(desc_addr + 8 * word_index, word)
-            # Release fence: the last descriptor word is non-posted.
-            yield from host.store(desc_addr + 8 * (len(words) - 1), words[-1])
-            system.trace.record("host", "descriptor_written", len(words))
+            for index, (desc, desc_addr) in enumerate(jobs):
+                words = abi.encode_descriptor(desc)
+                last_job = index == len(jobs) - 1
+                for word_index, word in enumerate(words[:-1]):
+                    yield from host.store_posted(
+                        desc_addr + 8 * word_index, word)
+                if last_job:
+                    # One release fence covers every descriptor store.
+                    yield from host.store(
+                        desc_addr + 8 * (len(words) - 1), words[-1])
+                else:
+                    yield from host.store_posted(
+                        desc_addr + 8 * (len(words) - 1), words[-1])
+            system.trace.record("host", "descriptor_written", written_data)
 
             # --- 2. Arm completion --------------------------------------
-            if self.use_hw_sync:
-                yield from host.store_posted(
-                    system.syncunit_threshold_addr, desc.num_clusters)
-            else:
-                yield from host.store_posted(flag_addr, 0)
+            yield from completion.arm(system, completion_jobs)
 
-            # --- 3. Dispatch ---------------------------------------------
+            # --- 3. Dispatch every job -----------------------------------
             system.trace.record("host", "dispatch_start")
-            yield from self.dispatch(desc, desc_addr)
+            for desc, desc_addr in jobs:
+                yield from self.dispatch_strategy.dispatch(
+                    system, desc, desc_addr)
             system.trace.record("host", "dispatch_done")
 
-            # --- 4. Wait for completion -----------------------------------
-            if self.use_hw_sync:
-                yield from host.wfi(IRQ_LINE)
-            else:
-                yield from self._poll_wait(flag_addr, desc.num_clusters)
+            # --- 4. Host work overlaps the fabric's execution ------------
+            if host_work is not None:
+                yield from host_work()
+                system.trace.record("host", "host_work_done")
+                result["host_work_done_cycle"] = system.sim.now
+
+            # --- 5. Wait for all jobs ------------------------------------
+            yield from completion.wait(system, completion_jobs)
 
             system.trace.record("host", "offload_end")
             result["end_cycle"] = system.sim.now
 
         return program()
+
+    # ------------------------------------------------------------------
+    # Launch shapes (parameterizations of the pipeline)
+    # ------------------------------------------------------------------
+    def offload_program(self, desc: abi.JobDescriptor, desc_addr: int,
+                        flag_addr: typing.Optional[int],
+                        result: typing.Dict[str, int]) -> typing.Generator:
+        """The plain one-job launch.
+
+        ``result`` receives ``start_cycle`` and ``end_cycle``.
+        ``flag_addr`` is the polling flag (AMO completion only).
+        """
+        if self.completion_strategy.uses_flag and flag_addr is None:
+            raise OffloadError("AMO completion requires a flag address")
+        return self.launch_program(
+            [(desc, desc_addr)],
+            None if flag_addr is None else [flag_addr], result)
 
     def overlapped_offload_program(
             self, desc: abi.JobDescriptor, desc_addr: int,
@@ -278,55 +261,19 @@ class OffloadRuntime:
 
         ``result`` additionally receives ``host_work_done_cycle``.
         """
-        if not self.use_hw_sync and flag_addr is None:
+        if self.completion_strategy.uses_flag and flag_addr is None:
             raise OffloadError("AMO completion requires a flag address")
-        system = self.system
-        host = system.host
-        config = system.config
-        words = abi.encode_descriptor(desc)
-
-        def program() -> typing.Generator:
-            result["start_cycle"] = system.sim.now
-            system.trace.record("host", "offload_start", desc.kernel_name)
-
-            yield from host.execute(config.host_setup_cycles)
-            for word_index, word in enumerate(words[:-1]):
-                yield from host.store_posted(desc_addr + 8 * word_index, word)
-            yield from host.store(desc_addr + 8 * (len(words) - 1),
-                                  words[-1])
-            system.trace.record("host", "descriptor_written", len(words))
-
-            if self.use_hw_sync:
-                yield from host.store_posted(
-                    system.syncunit_threshold_addr, desc.num_clusters)
-            else:
-                yield from host.store_posted(flag_addr, 0)
-
-            system.trace.record("host", "dispatch_start")
-            yield from self.dispatch(desc, desc_addr)
-            system.trace.record("host", "dispatch_done")
-
-            # --- Host work overlaps the accelerator's execution ----------
-            yield from host_work()
-            system.trace.record("host", "host_work_done")
-            result["host_work_done_cycle"] = system.sim.now
-
-            if self.use_hw_sync:
-                yield from host.wfi(IRQ_LINE)
-            else:
-                yield from self._poll_wait(flag_addr, desc.num_clusters)
-
-            system.trace.record("host", "offload_end")
-            result["end_cycle"] = system.sim.now
-
-        return program()
+        return self.launch_program(
+            [(desc, desc_addr)],
+            None if flag_addr is None else [flag_addr], result,
+            host_work=host_work)
 
     def concurrent_offload_program(
             self,
             jobs: typing.Sequence[typing.Tuple[abi.JobDescriptor, int]],
             flag_addrs: typing.Optional[typing.Sequence[int]],
             result: typing.Dict[str, int]) -> typing.Generator:
-        """Host program launching several space-shared jobs at once.
+        """The space-shared launch: several jobs dispatched at once.
 
         ``jobs`` pairs each descriptor with its memory address; the
         descriptors must target disjoint cluster ranges (the caller —
@@ -337,61 +284,4 @@ class OffloadRuntime:
         completion each job gets its own flag and the host polls them in
         turn.
         """
-        if not jobs:
-            raise OffloadError("concurrent offload of zero jobs")
-        if not self.use_hw_sync:
-            if flag_addrs is None or len(flag_addrs) != len(jobs):
-                raise OffloadError(
-                    "AMO completion requires one flag address per job")
-        system = self.system
-        host = system.host
-        config = system.config
-        total_clusters = sum(desc.num_clusters for desc, _addr in jobs)
-
-        def program() -> typing.Generator:
-            result["start_cycle"] = system.sim.now
-            system.trace.record("host", "offload_start",
-                                [desc.kernel_name for desc, _a in jobs])
-
-            # --- 1. Setup: runtime entry + all descriptors ---------------
-            yield from host.execute(config.host_setup_cycles)
-            for index, (desc, desc_addr) in enumerate(jobs):
-                words = abi.encode_descriptor(desc)
-                last_job = index == len(jobs) - 1
-                for word_index, word in enumerate(words[:-1]):
-                    yield from host.store_posted(
-                        desc_addr + 8 * word_index, word)
-                if last_job:
-                    # One release fence covers every descriptor store.
-                    yield from host.store(
-                        desc_addr + 8 * (len(words) - 1), words[-1])
-                else:
-                    yield from host.store_posted(
-                        desc_addr + 8 * (len(words) - 1), words[-1])
-            system.trace.record("host", "descriptor_written", len(jobs))
-
-            # --- 2. Arm completion --------------------------------------
-            if self.use_hw_sync:
-                yield from host.store_posted(
-                    system.syncunit_threshold_addr, total_clusters)
-            else:
-                for flag_addr in flag_addrs:
-                    yield from host.store_posted(flag_addr, 0)
-
-            # --- 3. Dispatch every job -----------------------------------
-            system.trace.record("host", "dispatch_start")
-            for desc, desc_addr in jobs:
-                yield from self.dispatch(desc, desc_addr)
-            system.trace.record("host", "dispatch_done")
-
-            # --- 4. Wait for all jobs --------------------------------------
-            if self.use_hw_sync:
-                yield from host.wfi(IRQ_LINE)
-            else:
-                for (desc, _addr), flag_addr in zip(jobs, flag_addrs):
-                    yield from self._poll_wait(flag_addr, desc.num_clusters)
-
-            system.trace.record("host", "offload_end")
-            result["end_cycle"] = system.sim.now
-
-        return program()
+        return self.launch_program(jobs, flag_addrs, result)

@@ -29,14 +29,40 @@ import typing
 from repro.errors import ConfigError
 from repro.noc.xbar import NocParams
 
+class _VariantFeatureView(typing.Mapping):
+    """Live name → (multicast, hw_sync) view of the variant registry.
+
+    The strategy registry (:mod:`repro.runtime.strategies`) is the
+    single source of truth for variant names; this mapping resolves
+    through it lazily so the config layer never imports the runtime
+    layer at module load (the runtime layer sits *above* soc in the
+    import ladder and itself imports soc modules).
+    """
+
+    @staticmethod
+    def _features() -> typing.Dict[str, typing.Tuple[bool, bool]]:
+        from repro.runtime.strategies import variant_features
+        return variant_features()
+
+    def __getitem__(self, name: str) -> typing.Tuple[bool, bool]:
+        return self._features()[name]
+
+    def __iter__(self) -> typing.Iterator[str]:
+        return iter(self._features())
+
+    def __len__(self) -> int:
+        return len(self._features())
+
+    def __repr__(self) -> str:
+        return repr(self._features())
+
+
 #: Runtime variant name → (multicast, hw_sync) hardware feature pair.
-#: The single source of truth shared with ``repro.runtime.api``.
-VARIANT_FEATURES: typing.Dict[str, typing.Tuple[bool, bool]] = {
-    "baseline": (False, False),
-    "multicast_only": (True, False),
-    "hw_sync_only": (False, True),
-    "extended": (True, True),
-}
+#: A live view of the strategy registry, kept under its historical
+#: name; ``SoCConfig.for_variant`` and ``repro.runtime`` resolve
+#: through the same registry, so they cannot drift.
+VARIANT_FEATURES: typing.Mapping[str, typing.Tuple[bool, bool]] = (
+    _VariantFeatureView())
 
 
 @dataclasses.dataclass(frozen=True)

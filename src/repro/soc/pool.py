@@ -18,20 +18,20 @@ from __future__ import annotations
 
 import collections
 import contextlib
-import os
 import typing
 
+from repro import flags
 from repro.soc.config import SoCConfig
 from repro.soc.manticore import ManticoreSystem
 
-#: Environment variable: when set (non-empty), pools build a fresh
-#: system for every acquire and discard it on release.
-FRESH_SYSTEMS_ENV = "REPRO_FRESH_SYSTEMS"
+#: Re-exported from :mod:`repro.flags`, the single source of truth for
+#: every ``REPRO_*`` gate; kept here for backwards compatibility.
+FRESH_SYSTEMS_ENV = flags.FRESH_SYSTEMS_ENV
 
 
 def pooling_disabled() -> bool:
     """Whether ``REPRO_FRESH_SYSTEMS`` forces fresh construction."""
-    return bool(os.environ.get(FRESH_SYSTEMS_ENV))
+    return flags.fresh_systems()
 
 
 class SystemPool:

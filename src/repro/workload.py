@@ -28,7 +28,7 @@ import numpy
 
 from repro.core.decision import HostExecutionModel
 from repro.core.model import OffloadModel
-from repro.core.offload import offload, run_on_host
+from repro.core.offload import DEFAULT_MAX_CYCLES, offload, run_on_host
 from repro.core.sweep import sweep
 from repro.errors import OffloadError
 from repro.kernels.registry import get_kernel
@@ -208,8 +208,13 @@ class WorkloadResult:
 
 
 def run_workload(system: ManticoreSystem, jobs: typing.Sequence[JobSpec],
-                 policy: Policy, verify: bool = False) -> WorkloadResult:
-    """Execute a job stream under a placement policy on one system."""
+                 policy: Policy, verify: bool = False,
+                 max_cycles: int = DEFAULT_MAX_CYCLES) -> WorkloadResult:
+    """Execute a job stream under a placement policy on one system.
+
+    ``max_cycles`` bounds each job's simulation individually (host and
+    offloaded placements alike), not the whole stream.
+    """
     if not jobs:
         raise OffloadError("empty workload")
     outcomes = []
@@ -218,12 +223,13 @@ def run_workload(system: ManticoreSystem, jobs: typing.Sequence[JobSpec],
         if placement.offload:
             result = offload(system, job.kernel_name, job.n,
                              placement.num_clusters, scalars=job.scalars,
-                             seed=job.seed, verify=verify)
+                             seed=job.seed, verify=verify,
+                             max_cycles=max_cycles)
             cycles = result.runtime_cycles
         else:
             result = run_on_host(system, job.kernel_name, job.n,
                                  scalars=job.scalars, seed=job.seed,
-                                 verify=verify)
+                                 verify=verify, max_cycles=max_cycles)
             cycles = result.runtime_cycles
         outcomes.append(JobOutcome(spec=job, placement=placement,
                                    cycles=cycles))

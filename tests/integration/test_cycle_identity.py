@@ -1,0 +1,82 @@
+"""Golden A/B cycle-identity: the staging refactor must not move a cycle.
+
+The job-lifecycle refactor (``repro.core.staging`` + the strategy and
+phase-pipeline layers) promises *byte-identical* cycle counts against
+the pre-refactor code.  ``tests/data/golden_cycles.json`` holds the
+measurements recorded from the pre-refactor tree; these tests replay
+the exact same launches and require equality — not bands, not
+tolerances.  If one of these fails, the refactor changed the measured
+machine (most likely the operand-allocation order in
+:meth:`repro.core.staging.JobBinding.bind`), which invalidates every
+number in the paper reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.concurrent import ConcurrentJob, offload_concurrent
+from repro.core.offload import offload
+from repro.core.overlap import offload_overlapped
+from repro.soc.config import SoCConfig
+from repro.soc.manticore import ManticoreSystem
+
+GOLDEN_PATH = (pathlib.Path(__file__).resolve().parent.parent
+               / "data" / "golden_cycles.json")
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+GRID_N = (1024, 2048, 4096, 8192)
+GRID_M = (1, 2, 4, 8, 16, 32)
+
+_CONFIGS = {
+    "baseline": SoCConfig.baseline,
+    "extended": SoCConfig.extended,
+}
+
+
+def test_golden_covers_the_full_grid():
+    for variant in ("baseline", "extended"):
+        assert set(GOLDEN["grid"][variant]) == {
+            f"{n}x{m}" for n in GRID_N for m in GRID_M}
+
+
+@pytest.mark.parametrize("variant", ["baseline", "extended"])
+@pytest.mark.parametrize("n", GRID_N)
+def test_daxpy_grid_is_cycle_identical(variant, n):
+    config = _CONFIGS[variant]()
+    golden = GOLDEN["grid"][variant]
+    measured = {
+        m: offload(ManticoreSystem(config), "daxpy", n, m).runtime_cycles
+        for m in GRID_M
+    }
+    assert measured == {m: golden[f"{n}x{m}"] for m in GRID_M}
+
+
+@pytest.mark.parametrize("variant, key", [
+    ("extended", "overlapped"),
+    ("baseline", "overlapped_baseline"),
+])
+def test_overlapped_launch_is_cycle_identical(variant, key):
+    config = _CONFIGS[variant]()
+    result = offload_overlapped(ManticoreSystem(config), "daxpy", 2048, 8,
+                                "scale", 512)
+    assert result.total_cycles == GOLDEN[key]["total_cycles"]
+    assert result.exposed_wait_cycles == GOLDEN[key]["exposed_wait_cycles"]
+
+
+@pytest.mark.parametrize("variant, key", [
+    ("extended", "concurrent"),
+    ("baseline", "concurrent_baseline"),
+])
+def test_concurrent_launch_is_cycle_identical(variant, key):
+    config = _CONFIGS[variant]()
+    result = offload_concurrent(ManticoreSystem(config), [
+        ConcurrentJob("daxpy", 2048, 8, seed=1),
+        ConcurrentJob("memcpy", 1024, 4, seed=2),
+    ])
+    assert result.makespan_cycles == GOLDEN[key]["makespan_cycles"]
+    assert [job.completed_cycle for job in result.jobs] == \
+        GOLDEN[key]["completed_cycles"]

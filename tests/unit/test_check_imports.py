@@ -1,0 +1,75 @@
+"""The import-layering lint: clean on the real tree, sharp on bad ones."""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_imports.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_imports", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+def test_the_real_tree_is_clean(capsys):
+    assert checker.main([str(CHECKER), str(REPO_ROOT / "src" / "repro")]) == 0
+
+
+def _fake_tree(tmp_path, files):
+    root = tmp_path / "repro"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    for relpath, body in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.parent != root and not (path.parent / "__init__.py").exists():
+            (path.parent / "__init__.py").write_text("")
+        path.write_text(body)
+    return root
+
+
+def test_upward_import_is_flagged(tmp_path, capsys):
+    root = _fake_tree(tmp_path, {
+        "sim/event.py": "from repro.core.offload import offload\n",
+    })
+    assert checker.main([str(CHECKER), str(root)]) == 1
+    assert "upward dependency" in capsys.readouterr().out
+
+
+def test_cross_module_private_import_is_flagged(tmp_path, capsys):
+    root = _fake_tree(tmp_path, {
+        "core/offload.py": "from repro.runtime.api import _secret\n",
+    })
+    assert checker.main([str(CHECKER), str(root)]) == 1
+    assert "private name '_secret'" in capsys.readouterr().out
+
+
+def test_same_module_private_import_is_allowed(tmp_path, capsys):
+    root = _fake_tree(tmp_path, {
+        "core/offload.py": "from repro.core.staging import _helper\n",
+    })
+    assert checker.main([str(CHECKER), str(root)]) == 0
+
+
+def test_function_level_imports_are_exempt(tmp_path, capsys):
+    root = _fake_tree(tmp_path, {
+        "soc/config.py": (
+            "def features():\n"
+            "    from repro.runtime.strategies import variant_features\n"
+            "    return variant_features()\n"),
+    })
+    assert checker.main([str(CHECKER), str(root)]) == 0
+
+
+def test_unknown_module_is_flagged(tmp_path, capsys):
+    root = _fake_tree(tmp_path, {
+        "mystery.py": "import repro.errors\n",
+    })
+    assert checker.main([str(CHECKER), str(root)]) == 1
+    assert "not in the layer table" in capsys.readouterr().out

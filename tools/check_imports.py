@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Import-layering lint for the ``repro`` package (pure stdlib).
+
+The reproduction is layered; each module may import only from layers
+strictly below its own (or from its own layer).  The ladder, bottom up:
+
+====== ==========================================================
+layer  modules
+====== ==========================================================
+0      ``errors``, ``flags``
+1      ``sim``
+2      ``mem``, ``noc``
+3      ``kernels``, ``abi``
+4      ``cluster``, ``host``, ``soc``
+5      ``runtime``
+6      ``core``, ``energy``, ``workload``
+7      ``analysis``, ``experiments``, ``cli``, ``__main__``
+====== ==========================================================
+
+Two rules are enforced over *module-level* imports (function-level
+imports are deliberate lazy escapes — e.g. ``soc.config`` reads the
+strategy registry lazily to keep layer 4 below layer 5):
+
+1. **No upward imports.**  A module in layer N must not import a
+   ``repro`` module in a layer above N.  Sideways (same layer) is
+   allowed — subpackages are cohesive.
+2. **No cross-module private imports.**  ``from repro.x import _name``
+   reaching into a *different* top-level module is forbidden; private
+   names are module-internal.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+
+Usage::
+
+    python tools/check_imports.py [src/repro]
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+LAYERS = {
+    "errors": 0, "flags": 0,
+    "sim": 1,
+    "mem": 2, "noc": 2,
+    "kernels": 3, "abi": 3,
+    "cluster": 4, "host": 4, "soc": 4,
+    "runtime": 5,
+    "core": 6, "energy": 6, "workload": 6,
+    "analysis": 7, "experiments": 7, "cli": 7, "__main__": 7,
+}
+
+
+def top_module(qualname: str) -> str | None:
+    """``repro.core.offload`` -> ``core``; non-repro names -> None."""
+    parts = qualname.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def module_name(path: pathlib.Path, root: pathlib.Path) -> str:
+    rel = path.relative_to(root.parent)
+    parts = list(rel.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
+    name = module_name(path, root)
+    own_top = top_module(name)
+    if own_top is None:
+        # repro/__init__.py is the public facade; it may import anything.
+        return []
+    own_layer = LAYERS.get(own_top)
+    if own_layer is None:
+        return [f"{path}: module {own_top!r} is not in the layer table; "
+                "add it to tools/check_imports.py"]
+    violations = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    # Module-level statements only: lazy function-level imports are the
+    # sanctioned escape hatch for cycles (documented at the import site).
+    for node in ast.iter_child_nodes(tree):
+        targets = []   # (imported module qualname, [imported names])
+        if isinstance(node, ast.Import):
+            targets = [(alias.name, []) for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            targets = [(node.module or "",
+                        [alias.name for alias in node.names])]
+        for qualname, names in targets:
+            dep_top = top_module(qualname)
+            if dep_top is None:
+                continue
+            dep_layer = LAYERS.get(dep_top)
+            if dep_layer is None:
+                violations.append(
+                    f"{path}:{node.lineno}: imports {qualname} whose "
+                    f"module {dep_top!r} is not in the layer table")
+                continue
+            if dep_layer > own_layer:
+                violations.append(
+                    f"{path}:{node.lineno}: {name} (layer {own_layer}, "
+                    f"{own_top}) imports {qualname} (layer {dep_layer}, "
+                    f"{dep_top}) — upward dependency")
+            if dep_top != own_top:
+                for imported in names:
+                    if imported.startswith("_"):
+                        violations.append(
+                            f"{path}:{node.lineno}: {name} imports "
+                            f"private name {imported!r} from {qualname} "
+                            "— private names are module-internal")
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent / "src" / "repro")
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_file(path, root))
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"\n{len(violations)} layering violation(s)", file=sys.stderr)
+        return 1
+    print(f"import layering clean ({sum(1 for _ in root.rglob('*.py'))} "
+          "files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
