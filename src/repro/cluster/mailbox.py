@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.errors import ProtocolError
 from repro.mem.map import MmioDevice
 from repro.sim import Event, Simulator
 
@@ -51,10 +52,21 @@ class Mailbox(MmioDevice):
         if offset == JOB_PTR_OFFSET:
             self.job_ptr = value
             self.jobs_received += 1
+            if not self._waiters:
+                # Rings are not queued (see :meth:`wait_job`): a ring
+                # with nobody parked on the doorbell is lost, and the
+                # cluster will never pick the job up.
+                self.audit("lost-doorbell", offset, value=value,
+                           detail=f"cluster {self.cluster_id}: no DM core "
+                                  f"waiting on the doorbell")
             waiters, self._waiters = self._waiters, []
             for event in waiters:
                 event.trigger(value)
             return
+        if offset == JOBS_RCVD_OFFSET:
+            self.audit("read-only-write", offset, value=value, fatal=True)
+            raise ProtocolError(
+                f"mailbox register at +{offset:#x} is read-only")
         super().write_register(offset, value)
 
     def reset(self) -> None:
@@ -66,6 +78,11 @@ class Mailbox(MmioDevice):
         """
         self.job_ptr = 0
         self.jobs_received = 0
+
+    @property
+    def waiters(self) -> int:
+        """Number of processes parked on the doorbell (boot state: 1)."""
+        return len(self._waiters)
 
     # ------------------------------------------------------------------
     # Device-side interface

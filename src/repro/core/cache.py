@@ -25,9 +25,11 @@ import hashlib
 import json
 import os
 import typing
+import warnings
 
 from repro import flags
 from repro.core.sweep import SweepPoint
+from repro.sim import IntegrityWarning
 from repro.soc.config import SoCConfig
 
 #: Re-exported from :mod:`repro.flags`, the single source of truth for
@@ -109,18 +111,44 @@ class SweepCache:
         return os.path.join(self.directory, f"{key}.json")
 
     def _read_disk(self, key: str) -> typing.Optional[SweepPoint]:
+        path = self._path(key)
         try:
-            with open(self._path(key)) as handle:
+            with open(path) as handle:
                 record = json.load(handle)
         except (OSError, ValueError):
             return None
+        try:
+            return self._decode(record)
+        except (KeyError, TypeError, AttributeError, ValueError):
+            # A malformed record (torn by a crashed writer, hand-edited,
+            # wrong type) is a cache miss, not a sweep failure — but say
+            # so, because a silently re-measured point hides the
+            # corruption forever.
+            warnings.warn(
+                f"SweepCache: ignoring malformed cache record {path}",
+                IntegrityWarning, stacklevel=2)
+            return None
+
+    @staticmethod
+    def _decode(record: typing.Any) -> typing.Optional[SweepPoint]:
+        """Decode one on-disk record, validating shape and field types."""
         if record.get("schema") != _SCHEMA:
             return None
-        return SweepPoint(
+        point = SweepPoint(
             kernel_name=record["kernel_name"], n=record["n"],
             num_clusters=record["num_clusters"], variant=record["variant"],
             runtime_cycles=record["runtime_cycles"],
             phases=dict(record["phases"]))
+        for field in ("n", "num_clusters", "runtime_cycles"):
+            if not isinstance(getattr(point, field), int):
+                raise TypeError(f"field {field!r} is not an int")
+        for field in ("kernel_name", "variant"):
+            if not isinstance(getattr(point, field), str):
+                raise TypeError(f"field {field!r} is not a string")
+        for name, cycles in point.phases.items():
+            if not isinstance(name, str) or not isinstance(cycles, int):
+                raise TypeError("phases must map str -> int")
+        return point
 
     def _write_disk(self, key: str, point: SweepPoint) -> None:
         os.makedirs(self.directory, exist_ok=True)

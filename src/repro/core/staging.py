@@ -95,17 +95,31 @@ def prepare_inputs(kernel: Kernel, n: int,
 
 def run_to_completion(system: ManticoreSystem, process,
                       max_cycles: int) -> None:
-    """Run the simulation until ``process`` finishes, or fail loudly."""
+    """Run the simulation until ``process`` finishes, or fail loudly.
+
+    Both failure modes re-raise as :class:`~repro.errors.OffloadError`
+    with the kernel's :class:`~repro.sim.SimulationReport` (which
+    process is blocked on what, plus the trace tail) carried through on
+    the ``report`` attribute and quoted in the message.
+    """
     try:
         system.sim.run(until=process, max_cycles=max_cycles)
-    except CycleLimitError:
-        raise OffloadError(
+    except CycleLimitError as err:
+        report = getattr(err, "report", None)
+        error = OffloadError(
             f"offload exceeded {max_cycles} cycles; the completion "
-            "protocol likely deadlocked") from None
-    except DeadlockError:
-        raise OffloadError(
+            "protocol likely deadlocked"
+            + (f"\n{report.describe()}" if report is not None else ""))
+        error.report = report
+        raise error from None
+    except DeadlockError as err:
+        report = getattr(err, "report", None)
+        error = OffloadError(
             "simulation ran out of events before the offload "
-            "completed (lost doorbell or completion signal)") from None
+            "completed (lost doorbell or completion signal)"
+            + (f"\n{report.describe()}" if report is not None else ""))
+        error.report = report
+        raise error from None
 
 
 def verify_outputs(kernel: Kernel, n: int, num_clusters: int,

@@ -24,6 +24,29 @@ class CycleLimitError(SimulationError):
     """A bounded run would have advanced past its cycle budget."""
 
 
+class QuiescenceError(SimulationError):
+    """A system failed its boot-state audit (reset/reuse of a dirty SoC).
+
+    Carries the offending :class:`repro.sim.diag.QuiescenceReport` on the
+    ``report`` attribute when raised by the audit machinery.
+    """
+
+
+class ProtocolError(ReproError):
+    """A runtime protocol violation observed at a device (MMIO misuse).
+
+    Distinct from :class:`ConfigError`, which covers construction-time
+    validation: a ``ProtocolError`` means simulated software drove a
+    peripheral outside its contract *during* a run — e.g. writing an
+    invalid threshold to the sync unit, storing to a read-only register,
+    or (in strict mode) ringing a doorbell nobody is listening to.
+    """
+
+
+class TraceError(ReproError):
+    """Trace post-processing could not attribute markers to an offload."""
+
+
 class MemoryError_(ReproError):
     """A memory access fell outside a mapped region or was malformed.
 

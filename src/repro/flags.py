@@ -18,6 +18,13 @@ variable                  effect
                           every acquire instead of resetting and
                           reusing pooled instances
 ``REPRO_CACHE_DIR``       relocates the on-disk sweep cache
+``REPRO_STRICT``          simulation-integrity strict mode: access
+                          anomalies the auditors would otherwise only
+                          *record* (stale sync-unit credits, lost
+                          doorbells) raise ``ProtocolError``, and
+                          returning a non-quiescent system to a
+                          ``SystemPool`` raises ``QuiescenceError``
+                          instead of counting a drop
 ========================= ============================================
 
 All boolean gates follow the same convention: *set to any non-empty
@@ -53,10 +60,16 @@ FRESH_SYSTEMS_ENV = "REPRO_FRESH_SYSTEMS"
 #: Environment variable overriding the default on-disk cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable: when set (non-empty), the integrity auditors
+#: escalate recorded anomalies to errors (see :mod:`repro.sim.diag`).
+#: CI runs the whole suite once with this set so strict-mode
+#: regressions fail fast.
+STRICT_ENV = "REPRO_STRICT"
+
 #: Every gate this module owns, for introspection and for benchmarks
 #: that must run with a known-clean environment.
 ALL_GATES = (NAIVE_POLL_ENV, LINEAR_ROUTING_ENV, FRESH_SYSTEMS_ENV,
-             CACHE_DIR_ENV)
+             CACHE_DIR_ENV, STRICT_ENV)
 
 
 def _enabled(name: str) -> bool:
@@ -81,3 +94,8 @@ def fresh_systems() -> bool:
 def cache_dir() -> typing.Optional[str]:
     """The ``REPRO_CACHE_DIR`` override, or ``None`` when unset/empty."""
     return os.environ.get(CACHE_DIR_ENV) or None
+
+
+def strict() -> bool:
+    """Whether ``REPRO_STRICT`` escalates integrity anomalies to errors."""
+    return _enabled(STRICT_ENV)

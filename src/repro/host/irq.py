@@ -78,6 +78,18 @@ class InterruptController:
         self._pending[name] = False
         return self.sim.now - started
 
+    def parked_waiters(self) -> typing.Dict[str, int]:
+        """Lines with processes parked in :meth:`wait` (line -> count).
+
+        Empty on a quiescent controller; used by the boot-state audit.
+        """
+        return {name: len(waiters)
+                for name, waiters in self._waiters.items() if waiters}
+
+    def pending_lines(self) -> typing.Tuple[str, ...]:
+        """Lines currently pending (empty on a quiescent controller)."""
+        return tuple(name for name, flag in self._pending.items() if flag)
+
     def reset(self) -> None:
         """Restore boot state: no line pending, zero raise counts.
 

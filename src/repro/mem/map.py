@@ -23,16 +23,43 @@ class MmioDevice:
     are functional; the interconnect applies timing before invoking them
     and may trigger side effects (e.g. a write to the sync unit's
     increment register bumps the credit counter).
+
+    Devices participate in MMIO access auditing through ``auditor``
+    (an optional :class:`repro.sim.diag.AccessAuditor`, installed by the
+    system builder): anomalous accesses — unknown offsets, writes to
+    read-only registers, protocol violations like doorbells nobody is
+    waiting on — are recorded there for post-mortems, and the silent
+    ones escalate to :class:`~repro.errors.ProtocolError` in strict
+    mode.
     """
+
+    #: Class-level default; systems install a shared AccessAuditor.
+    auditor = None
+
+    def audit(self, kind: str, offset: int,
+              value: typing.Optional[int] = None, detail: str = "",
+              fatal: bool = False) -> None:
+        """Report one anomalous access to the installed auditor (if any).
+
+        ``fatal=True`` means the caller raises regardless (the record is
+        purely for post-mortems); silent anomalies raise
+        :class:`~repro.errors.ProtocolError` here in strict mode.
+        """
+        if self.auditor is not None:
+            self.auditor.report(
+                device=type(self).__name__, kind=kind, offset=offset,
+                value=value, detail=detail, fatal=fatal)
 
     def read_register(self, offset: int) -> int:
         """Read the register at byte ``offset``; override in devices."""
+        self.audit("unknown-offset-read", offset, fatal=True)
         raise MemoryError_(
             f"{type(self).__name__} has no readable register at +{offset:#x}"
         )
 
     def write_register(self, offset: int, value: int) -> None:
         """Write the register at byte ``offset``; override in devices."""
+        self.audit("unknown-offset-write", offset, value=value, fatal=True)
         raise MemoryError_(
             f"{type(self).__name__} has no writable register at +{offset:#x}"
         )

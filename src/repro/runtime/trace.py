@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.errors import TraceError
 from repro.sim import TraceRecorder
 
 
@@ -94,18 +95,36 @@ def build_offload_trace(recorder: TraceRecorder, start_cycle: int,
                         end_cycle: int) -> OffloadTrace:
     """Assemble an :class:`OffloadTrace` from a recorder's markers.
 
-    Only markers inside ``[start_cycle, end_cycle]`` are considered, so
-    systems reused for several sequential offloads attribute each marker
-    to the right offload.
+    Only markers inside the half-open window ``[start_cycle,
+    end_cycle)`` are considered, so systems reused for several
+    sequential offloads attribute each marker to the right offload: an
+    offload's own ``offload_start`` marker lands exactly at
+    ``start_cycle`` (inclusive), while markers recorded at
+    ``end_cycle`` belong to whatever the host does next — with a
+    closed window, a back-to-back second offload starting on the very
+    cycle the first one ended would leak its markers into both.
+    Within the window the *first* record per ``(source, label)`` pair
+    wins, matching :meth:`~repro.sim.TraceRecorder.cycle_of`.
+
+    Raises
+    ------
+    TraceError
+        If a required marker is missing from the window.  The message
+        names the window bounds and the markers that *are* present, so
+        a mis-sliced window is diagnosable without dumping the trace.
     """
     window = [r for r in recorder.records
-              if start_cycle <= r.cycle <= end_cycle]
+              if start_cycle <= r.cycle < end_cycle]
 
     def host_cycle(label: str) -> int:
         for record in window:
             if record.source == "host" and record.label == label:
                 return record.cycle
-        raise KeyError(f"host marker {label!r} missing from trace window")
+        present = sorted({r.label for r in window if r.source == "host"})
+        raise TraceError(
+            f"host marker {label!r} missing from trace window "
+            f"[{start_cycle}, {end_cycle}); host markers present: "
+            f"{present or 'none'}")
 
     clusters = []
     cluster_ids = sorted({
@@ -118,6 +137,13 @@ def build_offload_trace(recorder: TraceRecorder, start_cycle: int,
         for record in window:
             if record.source == source and record.label not in marks:
                 marks[record.label] = record.cycle
+        for required in ("doorbell", "awake", "decoded",
+                         "completion_signalled"):
+            if required not in marks:
+                raise TraceError(
+                    f"{source} marker {required!r} missing from trace "
+                    f"window [{start_cycle}, {end_cycle}); {source} "
+                    f"markers present: {sorted(marks)}")
         clusters.append(ClusterPhases(
             cluster_id=cluster_id,
             doorbell=marks["doorbell"],

@@ -28,6 +28,16 @@ were scheduled (a monotonically increasing sequence number breaks heap
 ties), so simulations are exactly reproducible run to run.
 """
 
+from repro.sim.diag import (
+    AccessAuditor,
+    AccessViolation,
+    BlockedProcess,
+    IntegrityWarning,
+    QuiescenceAudit,
+    QuiescenceReport,
+    QuiescenceViolation,
+    SimulationReport,
+)
 from repro.sim.event import AllOf, AnyOf, Event
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
@@ -35,11 +45,19 @@ from repro.sim.record import TraceRecorder, TraceRecord
 from repro.sim.resource import SerialResource, ThroughputChannel
 
 __all__ = [
+    "AccessAuditor",
+    "AccessViolation",
     "AllOf",
     "AnyOf",
+    "BlockedProcess",
     "Event",
+    "IntegrityWarning",
     "Process",
+    "QuiescenceAudit",
+    "QuiescenceReport",
+    "QuiescenceViolation",
     "SerialResource",
+    "SimulationReport",
     "Simulator",
     "ThroughputChannel",
     "TraceRecord",

@@ -7,6 +7,7 @@ import heapq
 import typing
 
 from repro.errors import CycleLimitError, DeadlockError, SimulationError
+from repro.sim import diag
 from repro.sim.event import AllOf, AnyOf, Event
 from repro.sim.process import Process
 
@@ -52,6 +53,14 @@ class Simulator:
         self._sequence = 0
         self._running = False
         self._spawned = 0
+        #: Live (unfinished) processes; parked DM cores stay here for
+        #: the lifetime of the system, which is exactly what deadlock
+        #: reports need to enumerate.
+        self._processes: set = set()
+        #: The system's trace recorder, if one registered (the first
+        #: :class:`~repro.sim.record.TraceRecorder` built on this
+        #: simulator); deadlock reports quote its tail.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -191,18 +200,27 @@ class Simulator:
                         callback(argument)
                     elif queue:
                         if max_cycles is not None and queue[0][0] > max_cycles:
-                            raise CycleLimitError(
+                            report = diag.build_report(
+                                self, reason="cycle-limit", awaited=until)
+                            error = CycleLimitError(
                                 f"next event at cycle {queue[0][0]} exceeds "
-                                f"the {max_cycles}-cycle budget"
+                                f"the {max_cycles}-cycle budget\n"
+                                + report.describe()
                             )
+                            error.report = report
+                            raise error
                         item = pop(queue)
                         self.now = item[0]
                         item[2](item[3])
                     else:
-                        raise DeadlockError(
+                        report = diag.build_report(
+                            self, reason="deadlock", awaited=until)
+                        error = DeadlockError(
                             f"event queue drained at cycle {self.now} but "
-                            f"{until!r} never triggered"
+                            f"{until!r} never triggered\n" + report.describe()
                         )
+                        error.report = report
+                        raise error
                 return self.now
             raise SimulationError(f"invalid 'until' argument: {until!r}")
         finally:
@@ -231,6 +249,16 @@ class Simulator:
     def pending(self) -> int:
         """Number of queued callbacks (a rough liveness indicator)."""
         return len(self._queue) + len(self._now_queue)
+
+    @property
+    def live_processes(self) -> typing.Tuple[Process, ...]:
+        """Every spawned process whose body has not yet returned.
+
+        Parked processes (e.g. DM cores waiting on their mailboxes)
+        remain live across :meth:`reset`; diagnostics iterate this to
+        name what a wedged simulation is blocked on.
+        """
+        return tuple(self._processes)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator now={self.now} pending={self.pending}>"

@@ -34,7 +34,8 @@ class Process(Event):
     directly.
     """
 
-    __slots__ = ("generator", "_send", "_failure")
+    __slots__ = ("generator", "_send", "_failure", "_waiting_on",
+                 "_waiting_since")
 
     def __init__(self, sim: "Simulator", generator: typing.Generator,
                  name: str = "") -> None:
@@ -46,8 +47,12 @@ class Process(Event):
         self.generator = generator
         self._send = generator.send
         self._failure: typing.Optional[BaseException] = None
+        #: Current waitable (int delay or Event), for deadlock reports.
+        self._waiting_on: typing.Optional[Waitable] = None
+        self._waiting_since = sim.now
         # Kick off on the current cycle, through the queue for determinism.
         sim.schedule(0, self._resume, None)
+        sim._processes.add(self)
 
     # ------------------------------------------------------------------
     # Scheduling internals
@@ -62,13 +67,21 @@ class Process(Event):
         try:
             target = self._send(None if event is None else event._value)
         except StopIteration as stop:
+            self._waiting_on = None
+            self.sim._processes.discard(self)
             self.trigger(stop.value)
             return
         except BaseException as exc:
             # Record and re-raise through the kernel so a broken model
             # never passes silently.
             self._failure = exc
+            self.sim._processes.discard(self)
             raise
+        # Two stores of wait bookkeeping keep deadlock reports able to
+        # name what every parked process waits on; they never touch the
+        # queues, so event ordering (and measured cycles) are unchanged.
+        self._waiting_on = target
+        self._waiting_since = self.sim.now
         # Integer delays are the most common waitable; test them first
         # with an exact type check (bool is not a sane delay anyway).
         if type(target) is int:
@@ -111,6 +124,16 @@ class Process(Event):
     def failure(self) -> typing.Optional[BaseException]:
         """The exception that killed the body, if any."""
         return self._failure
+
+    @property
+    def waiting_on(self) -> typing.Optional[Waitable]:
+        """The waitable the process is currently parked on (diagnostics)."""
+        return self._waiting_on
+
+    @property
+    def waiting_since(self) -> int:
+        """Cycle at which the current wait began (diagnostics)."""
+        return self._waiting_since
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "finished" if self.triggered else "running"

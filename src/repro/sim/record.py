@@ -45,6 +45,12 @@ class TraceRecorder:
         self.sim = sim
         self.enabled = enabled
         self.records: typing.List[TraceRecord] = []
+        # The first recorder built on a simulator becomes its system
+        # recorder: deadlock/cycle-limit reports quote its tail.
+        # (ManticoreSystem builds its recorder right after the kernel,
+        # so later per-component fallback recorders never shadow it.)
+        if getattr(sim, "trace", None) is None:
+            sim.trace = self
 
     def record(self, source: str, label: str, data: typing.Any = None) -> None:
         """Append an entry stamped with the current cycle (if enabled)."""

@@ -89,6 +89,16 @@ class SerialResource:
         return max(self.sim.now, self._next_free)
 
     @property
+    def backlog(self) -> int:
+        """Cycles of service still owed beyond ``now`` (0 when idle).
+
+        A non-zero backlog on a "drained" system means a request was
+        charged whose completion lies in the future — the quiescence
+        audit treats that as an in-flight transaction.
+        """
+        return max(0, self._next_free - self.sim.now)
+
+    @property
     def busy_cycles(self) -> int:
         """Total cycles of service granted so far (utilization numerator)."""
         return self._busy_cycles

@@ -29,6 +29,7 @@ import typing
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.mailbox import JOB_PTR_OFFSET, Mailbox
+from repro.errors import QuiescenceError
 from repro.host.cva6 import HostCore
 from repro.host.irq import InterruptController
 from repro.host.lsu import LoadStoreUnit
@@ -37,7 +38,14 @@ from repro.mem.memory import MainMemory
 from repro.mem.tcdm import Tcdm
 from repro.noc.multicast import multicast_targets
 from repro.noc.xbar import Interconnect
-from repro.sim import Simulator, ThroughputChannel, TraceRecorder
+from repro.sim import (
+    AccessAuditor,
+    QuiescenceAudit,
+    QuiescenceReport,
+    Simulator,
+    ThroughputChannel,
+    TraceRecorder,
+)
 from repro.soc.config import SoCConfig
 from repro.soc.fabricbarrier import FabricBarrier
 from repro.soc import syncunit as syncunit_regs
@@ -61,6 +69,9 @@ class ManticoreSystem:
         self.config = config or SoCConfig()
         self.sim = Simulator()
         self.trace = TraceRecorder(self.sim, enabled=record_trace)
+        #: Shared MMIO access auditor; every device built below reports
+        #: anomalous accesses here (see ``repro.sim.diag``).
+        self.auditor = AccessAuditor(self.sim)
 
         # --- Memory -------------------------------------------------------
         self.memory = MainMemory(
@@ -77,7 +88,8 @@ class ManticoreSystem:
         self.irq = InterruptController(
             self.sim, wake_latency=self.config.host_wfi_wake_latency)
         self.syncunit = SyncUnit(
-            self.sim, self.irq, irq_latency=self.config.syncunit_irq_latency)
+            self.sim, self.irq, irq_latency=self.config.syncunit_irq_latency,
+            auditor=self.auditor)
         self.address_map.add_device(
             "syncunit", SYNCUNIT_BASE, SYNCUNIT_SIZE, self.syncunit)
 
@@ -97,6 +109,7 @@ class ManticoreSystem:
         self.clusters: typing.List[Cluster] = []
         for cluster_id in range(self.config.num_clusters):
             mailbox = Mailbox(self.sim, cluster_id)
+            mailbox.auditor = self.auditor
             self.address_map.add_device(
                 f"cluster{cluster_id}.periph",
                 CLUSTER_PERIPH_BASE + cluster_id * CLUSTER_PERIPH_STRIDE,
@@ -162,6 +175,42 @@ class ManticoreSystem:
     # ------------------------------------------------------------------
     # Reuse
     # ------------------------------------------------------------------
+    def audit_quiescence(self) -> QuiescenceReport:
+        """Verify every block is back at (resettable) boot state.
+
+        A clean report means the previous run fully drained: no queued
+        callbacks, no in-flight NoC or memory-channel transactions, no
+        armed sync unit, no pending or awaited interrupts, no open
+        barriers, and each cluster's DM core parked on its mailbox
+        exactly as after boot.  :meth:`reset` runs this audit first and
+        refuses to recycle a dirty system.
+        """
+        audit = QuiescenceAudit()
+        audit.expect("sim", "pending callbacks", 0, self.sim.pending)
+        audit.expect("noc.host_port", "backlog cycles", 0,
+                     self.noc.host_port.backlog)
+        audit.expect("noc.amo_port", "backlog cycles", 0,
+                     self.noc.amo_port.backlog)
+        for cluster_id, port in enumerate(self.noc.cluster_ports):
+            audit.expect(f"noc.cluster_port[{cluster_id}]", "backlog cycles",
+                         0, port.backlog)
+        audit.expect("mem.read", "backlog cycles", 0,
+                     self.read_channel.backlog)
+        audit.expect("mem.write", "backlog cycles", 0,
+                     self.write_channel.backlog)
+        audit.expect("syncunit", "armed", False, self.syncunit.armed)
+        audit.expect("irq", "parked waiters", {}, self.irq.parked_waiters())
+        audit.expect("irq", "pending lines", (), self.irq.pending_lines())
+        audit.expect("fabric_barrier", "open groups", (),
+                     self.fabric_barrier.open_groups)
+        for cluster in self.clusters:
+            name = f"cluster{cluster.cluster_id}"
+            audit.expect(f"{name}.barrier", "parties waiting", 0,
+                         cluster.barrier.waiting)
+            audit.expect(f"{name}.mailbox", "doorbell waiters", 1,
+                         cluster.mailbox.waiters)
+        return audit.report()
+
     def reset(self) -> None:
         """Restore the system to boot state for the next measurement.
 
@@ -177,10 +226,19 @@ class ManticoreSystem:
 
         Raises
         ------
-        SimulationError
-            If callbacks are still queued or a barrier/interrupt waiter
-            is outstanding (i.e. the previous run did not drain).
+        QuiescenceError
+            If the boot-state audit finds residue from the previous run
+            (queued callbacks, in-flight transactions, parked waiters).
+            The failing :class:`~repro.sim.QuiescenceReport` is attached
+            as the exception's ``report`` attribute.
         """
+        quiescence = self.audit_quiescence()
+        if not quiescence.ok:
+            error = QuiescenceError(
+                "cannot reset a non-quiescent system\n"
+                + quiescence.describe())
+            error.report = quiescence
+            raise error
         self.sim.reset()  # validates the queues are drained
         self.trace.clear()
         self.address_map.clear_watchpoints()
@@ -194,6 +252,7 @@ class ManticoreSystem:
         self.host.reset()
         for cluster in self.clusters:
             cluster.reset()
+        self.auditor.clear()
 
     # ------------------------------------------------------------------
     # Convenience

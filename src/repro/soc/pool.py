@@ -19,8 +19,11 @@ from __future__ import annotations
 import collections
 import contextlib
 import typing
+import warnings
 
 from repro import flags
+from repro.errors import QuiescenceError
+from repro.sim import IntegrityWarning
 from repro.soc.config import SoCConfig
 from repro.soc.manticore import ManticoreSystem
 
@@ -56,6 +59,10 @@ class SystemPool:
         self.hits = 0
         #: Number of acquires that had to construct a system.
         self.builds = 0
+        #: Number of released systems dropped for failing the
+        #: quiescence audit (non-zero means a measurement leaked
+        #: in-flight state — see :meth:`release`).
+        self.dropped = 0
 
     def acquire(self, config: SoCConfig,
                 record_trace: bool = True) -> ManticoreSystem:
@@ -81,13 +88,36 @@ class SystemPool:
     def release(self, system: ManticoreSystem) -> None:
         """Return a leased system to the pool.
 
-        The system must have drained (``sim.pending == 0``); callers
-        that hit an exception mid-measurement should *discard* the
-        instance instead (just drop the reference) — a half-run system
-        cannot be proven reusable.  With ``REPRO_FRESH_SYSTEMS`` set,
-        the instance is dropped.
+        The system must pass its quiescence audit (fully drained, every
+        block back at boot state); callers that hit an exception
+        mid-measurement should *discard* the instance instead (just
+        drop the reference) — a half-run system cannot be proven
+        reusable.  A system that fails the audit is dropped, counted in
+        :attr:`dropped`, and reported with an
+        :class:`~repro.sim.IntegrityWarning` (or
+        :class:`~repro.errors.QuiescenceError` under ``REPRO_STRICT``)
+        so leaked in-flight state never passes silently.  With
+        ``REPRO_FRESH_SYSTEMS`` set, the instance is dropped without an
+        audit — fresh-construction mode never recycles.
         """
-        if pooling_disabled() or system.sim.pending:
+        if pooling_disabled():
+            return
+        report = system.audit_quiescence()
+        if not report.ok:
+            self.dropped += 1
+            if flags.strict():
+                error = QuiescenceError(
+                    "released system failed its quiescence audit\n"
+                    + report.describe())
+                error.report = report
+                raise error
+            warnings.warn(
+                "SystemPool.release: dropping non-quiescent system "
+                f"({report.violations[0].describe()}"
+                + (f" and {len(report.violations) - 1} more"
+                   if len(report.violations) > 1 else "")
+                + ")",
+                IntegrityWarning, stacklevel=2)
             return
         queue = self._idle.setdefault(
             system.config.digest(), collections.deque())

@@ -73,3 +73,22 @@ def test_unknown_module_is_flagged(tmp_path, capsys):
     })
     assert checker.main([str(CHECKER), str(root)]) == 1
     assert "not in the layer table" in capsys.readouterr().out
+
+
+def test_diag_submodule_allowlist_is_enforced(tmp_path, capsys):
+    # repro.sim.diag is imported by the kernel itself, so importing the
+    # kernel (or anything outside its allowlist) from it is a cycle.
+    root = _fake_tree(tmp_path, {
+        "sim/diag.py": "from repro.sim.kernel import Simulator\n",
+    })
+    assert checker.main([str(CHECKER), str(root)]) == 1
+    assert "SUBMODULE_RULES" in capsys.readouterr().out
+
+
+def test_diag_submodule_allowlist_permits_leaf_imports(tmp_path, capsys):
+    root = _fake_tree(tmp_path, {
+        "sim/diag.py": ("from repro import flags\n"
+                        "from repro.errors import ProtocolError\n"
+                        "from repro.sim.event import Event\n"),
+    })
+    assert checker.main([str(CHECKER), str(root)]) == 0

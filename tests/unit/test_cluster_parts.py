@@ -199,11 +199,13 @@ def test_mailbox_registers_readable():
 
 
 def test_mailbox_unknown_register():
-    from repro.errors import MemoryError_
+    from repro.errors import MemoryError_, ProtocolError
     mailbox = Mailbox(Simulator(), cluster_id=0)
     with pytest.raises(MemoryError_):
         mailbox.read_register(0x40)
     with pytest.raises(MemoryError_):
+        mailbox.write_register(0x40, 1)
+    with pytest.raises(ProtocolError):
         mailbox.write_register(0x08, 1)  # count register is read-only
 
 

@@ -1,0 +1,208 @@
+"""Unit tests for the simulation-integrity layer (:mod:`repro.sim.diag`)."""
+
+import pytest
+
+from repro import flags
+from repro.errors import CycleLimitError, DeadlockError, ProtocolError
+from repro.sim import (
+    AccessAuditor,
+    AllOf,
+    AnyOf,
+    QuiescenceAudit,
+    Simulator,
+    TraceRecorder,
+)
+from repro.sim.diag import build_report, classify_wait
+
+
+# ----------------------------------------------------------------------
+# Wait classification
+# ----------------------------------------------------------------------
+def test_classify_wait_by_naming_convention():
+    sim = Simulator()
+    cases = {
+        "mailbox3.ring": ("mailbox", "mailbox3.ring"),
+        "irq.syncunit": ("irq", "syncunit"),
+        "fabric_barrier.g0.gen1": ("barrier", "fabric_barrier.g0.gen1"),
+        "cluster0.barrier.gen2": ("barrier", "cluster0.barrier.gen2"),
+        "mem.read-done@120": ("resource", "mem.read-done@120"),
+        "timer@55": ("timer", "timer@55"),
+        "something.else": ("event", "something.else"),
+    }
+    for name, expected in cases.items():
+        assert classify_wait(sim.event(name=name)) == expected, name
+
+
+def test_classify_wait_structural_kinds():
+    sim = Simulator()
+
+    def body():
+        yield 1
+
+    process = sim.spawn(body(), name="worker")
+    assert classify_wait(process) == ("join", "process 'worker'")
+    kind, detail = classify_wait(
+        AllOf(sim, [sim.event(name="a"), sim.event(name="b")]))
+    assert kind == "all-of"
+    assert "a" in detail and "b" in detail
+    kind, _ = classify_wait(AnyOf(sim, [sim.event(name="a")]))
+    assert kind == "any-of"
+    assert classify_wait(7) == ("delay", "7 cycles")
+    assert classify_wait(object())[0] == "unknown"
+    sim.run()
+
+
+# ----------------------------------------------------------------------
+# Deadlock / cycle-limit reports
+# ----------------------------------------------------------------------
+def test_deadlock_report_names_blocked_processes():
+    sim = Simulator()
+    never = sim.event(name="mailbox0.ring")
+    goal = sim.event(name="goal")
+
+    def parked():
+        yield never
+
+    sim.spawn(parked(), name="dm-core")
+    with pytest.raises(DeadlockError) as info:
+        sim.run(until=goal)
+    report = info.value.report
+    assert report.reason == "deadlock"
+    assert report.awaited == "goal"
+    entry = report.blocked_named("dm-core")
+    assert entry.wait_kind == "mailbox"
+    assert entry.wait_detail == "mailbox0.ring"
+    assert "dm-core" in str(info.value)
+
+
+def test_cycle_limit_report_carries_trace_tail():
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+    goal = sim.event(name="goal")
+
+    def spinner():
+        while True:
+            recorder.record("spinner", "tick")
+            yield 10
+
+    sim.spawn(spinner(), name="spinner")
+    with pytest.raises(CycleLimitError) as info:
+        sim.run(until=goal, max_cycles=100)
+    report = info.value.report
+    assert report.reason == "cycle-limit"
+    assert report.cycle >= 100
+    assert report.trace_tail
+    assert report.trace_tail[-1].label == "tick"
+    assert "tick" in report.describe()
+
+
+def test_report_excludes_delayed_and_finished_processes():
+    sim = Simulator()
+
+    def quick():
+        yield 1
+
+    def parked():
+        yield sim.event(name="never")
+
+    sim.spawn(quick(), name="quick")
+    sim.spawn(parked(), name="parked")
+    sim.run()
+    report = build_report(sim, reason="deadlock")
+    assert [b.name for b in report.blocked] == ["parked"]
+    with pytest.raises(KeyError):
+        report.blocked_named("quick")
+
+
+def test_joined_process_reports_as_join_wait():
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event(name="never")
+
+    def joiner(target):
+        yield target
+
+    target = sim.spawn(stuck(), name="stuck")
+    sim.spawn(joiner(target), name="joiner")
+    sim.run()
+    report = build_report(sim, reason="deadlock")
+    assert report.blocked_named("joiner").wait_kind == "join"
+    assert report.blocked_named("stuck").wait_kind == "event"
+
+
+# ----------------------------------------------------------------------
+# Quiescence audit collector
+# ----------------------------------------------------------------------
+def test_quiescence_audit_collects_mismatches_only():
+    audit = QuiescenceAudit()
+    audit.expect("sim", "pending callbacks", 0, 0)
+    audit.expect("syncunit", "armed", False, True)
+    audit.expect("irq", "pending lines", (), ("syncunit",))
+    report = audit.report()
+    assert not report.ok
+    assert len(report.violations) == 2
+    assert report.violations[0].component == "syncunit"
+    assert "expected False, found True" in report.describe()
+
+
+def test_quiescence_report_ok_when_clean():
+    report = QuiescenceAudit().report()
+    assert report.ok
+    assert report.describe() == "system is quiescent"
+
+
+# ----------------------------------------------------------------------
+# MMIO access auditor
+# ----------------------------------------------------------------------
+def test_auditor_records_without_raising_by_default(monkeypatch):
+    monkeypatch.delenv(flags.STRICT_ENV, raising=False)
+    auditor = AccessAuditor()
+    auditor.report(device="Mailbox", kind="lost-doorbell", offset=0,
+                   value=42, detail="nobody waiting")
+    auditor.report(device="SyncUnit", kind="stale-credit", offset=0x10)
+    assert auditor.count() == 2
+    assert auditor.count("stale-credit") == 1
+    assert "lost-doorbell" in auditor.violations[0].describe()
+    auditor.clear()
+    assert auditor.count() == 0
+
+
+def test_auditor_instance_strict_mode_raises():
+    auditor = AccessAuditor(strict=True)
+    with pytest.raises(ProtocolError, match="lost-doorbell"):
+        auditor.report(device="Mailbox", kind="lost-doorbell", offset=0)
+    # The violation is still recorded for the post-mortem.
+    assert auditor.count("lost-doorbell") == 1
+
+
+def test_auditor_env_strict_mode(monkeypatch):
+    monkeypatch.setenv(flags.STRICT_ENV, "1")
+    auditor = AccessAuditor()
+    assert auditor.strict
+    with pytest.raises(ProtocolError):
+        auditor.report(device="SyncUnit", kind="stale-credit", offset=0x10)
+
+
+def test_auditor_never_raises_on_fatal_records(monkeypatch):
+    # Fatal anomalies already raise at the device; the auditor must not
+    # double-raise (which would change the exception type under strict).
+    monkeypatch.setenv(flags.STRICT_ENV, "1")
+    auditor = AccessAuditor()
+    auditor.report(device="SyncUnit", kind="unknown-offset-read",
+                   offset=0x100, fatal=True)
+    assert auditor.count() == 1
+
+
+def test_auditor_stamps_cycles_from_its_simulator(monkeypatch):
+    monkeypatch.delenv(flags.STRICT_ENV, raising=False)
+    sim = Simulator()
+    auditor = AccessAuditor(sim)
+
+    def body():
+        yield 42
+        auditor.report(device="Mailbox", kind="lost-doorbell", offset=0)
+
+    sim.spawn(body(), name="p")
+    sim.run()
+    assert auditor.violations[0].cycle == 42

@@ -184,3 +184,35 @@ def test_stale_schema_is_a_miss(tmp_path):
     recovered = SweepExecutor(cache=SweepCache(directory))
     run(recovered)
     assert recovered.cache_hits == 0
+
+
+def _mangle_cache_records(directory, mutate):
+    """Apply ``mutate(record) -> record`` to every on-disk cache file."""
+    for name in os.listdir(directory):
+        path = os.path.join(directory, name)
+        with open(path) as handle:
+            record = json.load(handle)
+        with open(path, "w") as handle:
+            json.dump(mutate(record), handle)
+
+
+@pytest.mark.parametrize("mutate", [
+    pytest.param(lambda r: {k: v for k, v in r.items() if k != "n"},
+                 id="missing-key"),
+    pytest.param(lambda r: {**r, "n": "sixty-four"}, id="mistyped-n"),
+    pytest.param(lambda r: {**r, "phases": [1, 2, 3]}, id="phases-not-a-map"),
+    pytest.param(lambda r: {**r, "phases": {"setup": "fast"}},
+                 id="phase-cycles-not-int"),
+    pytest.param(lambda r: [r], id="record-not-a-dict"),
+])
+def test_malformed_cache_record_is_a_warned_miss(tmp_path, mutate):
+    from repro.sim import IntegrityWarning
+    directory = str(tmp_path / "cache")
+    first = run(SweepExecutor(cache=SweepCache(directory)))
+    _mangle_cache_records(directory, mutate)
+    recovered = SweepExecutor(cache=SweepCache(directory))
+    with pytest.warns(IntegrityWarning, match="malformed cache record"):
+        result = run(recovered)
+    assert recovered.cache_hits == 0
+    assert recovered.simulated_points == len(result)
+    assert result == first   # re-measured, not silently wrong

@@ -9,6 +9,7 @@ from repro import flags
     (flags.naive_poll, flags.NAIVE_POLL_ENV),
     (flags.linear_routing, flags.LINEAR_ROUTING_ENV),
     (flags.fresh_systems, flags.FRESH_SYSTEMS_ENV),
+    (flags.strict, flags.STRICT_ENV),
 ])
 def test_boolean_gates_follow_the_non_empty_convention(monkeypatch,
                                                        accessor, env):
@@ -34,7 +35,8 @@ def test_cache_dir_returns_none_when_unset(monkeypatch):
 def test_all_gates_is_complete():
     assert set(flags.ALL_GATES) == {
         flags.NAIVE_POLL_ENV, flags.LINEAR_ROUTING_ENV,
-        flags.FRESH_SYSTEMS_ENV, flags.CACHE_DIR_ENV}
+        flags.FRESH_SYSTEMS_ENV, flags.CACHE_DIR_ENV,
+        flags.STRICT_ENV}
 
 
 def test_accessors_reread_the_environment(monkeypatch):

@@ -52,6 +52,7 @@ def test_mailbox_addrs_for_multicast():
 
 def test_mailbox_write_through_map_reaches_cluster():
     system = small_system()
+    system.run()   # park the DM cores so the ring is not a lost doorbell
     system.address_map.write_word(system.mailbox_addr(2), 0xBEEF)
     assert system.clusters[2].mailbox.job_ptr == 0xBEEF
 

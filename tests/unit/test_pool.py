@@ -4,9 +4,16 @@ import os
 
 import pytest
 
-from repro.errors import ConfigError, OffloadError, SimulationError
+from repro import flags
+from repro.errors import (
+    ConfigError,
+    OffloadError,
+    QuiescenceError,
+    SimulationError,
+)
 from repro.core.offload import offload
 from repro.runtime.protocol import OffloadRuntime
+from repro.sim import IntegrityWarning
 from repro.sim.kernel import Simulator
 from repro.sim.resource import SerialResource
 from repro.soc.config import SoCConfig, VARIANT_FEATURES
@@ -53,11 +60,26 @@ def test_pool_keys_on_config_digest():
     assert pool.hits == 1
 
 
-def test_pool_never_retains_an_undrained_system():
+def test_pool_never_retains_an_undrained_system(monkeypatch):
+    monkeypatch.delenv(flags.STRICT_ENV, raising=False)
     pool = SystemPool()
-    with pool.lease(CFG) as system:
-        assert system.sim.pending   # spawn kick-offs still queued
+    with pytest.warns(IntegrityWarning, match="non-quiescent"):
+        with pool.lease(CFG) as system:
+            assert system.sim.pending   # spawn kick-offs still queued
     assert pool.idle_count == 0
+    assert pool.dropped == 1
+
+
+def test_pool_release_raises_in_strict_mode(monkeypatch):
+    monkeypatch.setenv(flags.STRICT_ENV, "1")
+    pool = SystemPool()
+    system = pool.acquire(CFG)
+    assert system.sim.pending
+    with pytest.raises(QuiescenceError) as info:
+        pool.release(system)
+    assert pool.dropped == 1
+    # The failing audit rides along for post-mortems.
+    assert not info.value.report.ok
 
 
 def test_pool_discards_instance_on_exception():
@@ -67,8 +89,8 @@ def test_pool_discards_instance_on_exception():
             _drain(system)
             raise RuntimeError("measurement failed")
     assert pool.idle_count == 0
-    with pool.lease(CFG):
-        pass
+    with pool.lease(CFG) as system:
+        _drain(system)
     assert pool.builds == 2   # the poisoned instance was not reused
 
 
@@ -96,6 +118,7 @@ def test_pool_respects_trace_recording_choice():
     # get it back.
     with pool.lease(CFG, record_trace=False) as system:
         assert not system.trace.enabled
+        system.run()   # drain the spawn kick-offs so release retains it
     assert pool.builds == 2
     assert pool.hits == 0
 

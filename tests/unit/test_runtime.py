@@ -4,7 +4,7 @@ import pytest
 
 from repro import abi
 from repro.core.offload import offload_daxpy
-from repro.errors import OffloadError
+from repro.errors import OffloadError, TraceError
 from repro.noc.packet import TransactionKind
 from repro.runtime import OffloadRuntime, RUNTIME_VARIANTS, make_runtime
 from repro.runtime.trace import build_offload_trace
@@ -164,8 +164,56 @@ def test_trace_windows_separate_sequential_offloads():
 
 def test_trace_missing_marker_raises():
     system = ext_system()
-    with pytest.raises(KeyError):
+    with pytest.raises(TraceError, match=r"\[0, 100\)"):
         build_offload_trace(system.trace, 0, 100)
+
+
+def test_trace_window_is_half_open():
+    # A marker recorded exactly at end_cycle belongs to whatever the
+    # host does next (e.g. a back-to-back offload starting on the cycle
+    # the previous one ended), never to the window being sliced.
+    system = ext_system()
+    recorder = system.trace
+    recorder.record("host", "offload_start")          # cycle 0
+    recorder.record("host", "descriptor_written")
+    recorder.record("host", "dispatch_start")
+    recorder.record("host", "dispatch_done")
+    system.sim.schedule(50, lambda _arg: recorder.record(
+        "host", "descriptor_written", {"next": True}))
+    system.run()
+    trace = build_offload_trace(recorder, 0, 50)
+    assert trace.descriptor_written == 0   # cycle-50 marker excluded
+    with pytest.raises(TraceError, match="dispatch_start"):
+        # The next window sees only its own descriptor_written marker.
+        build_offload_trace(recorder, 50, 60)
+
+
+def test_trace_error_names_missing_cluster_marker():
+    system = ext_system()
+    recorder = system.trace
+    for label in ("descriptor_written", "dispatch_start", "dispatch_done"):
+        recorder.record("host", label)
+    recorder.record("cluster0", "doorbell")   # woke, but never finished
+    recorder.record("cluster0", "awake")
+    with pytest.raises(TraceError) as info:
+        build_offload_trace(recorder, 0, 100)
+    message = str(info.value)
+    assert "cluster0" in message and "'decoded'" in message
+    assert "doorbell" in message   # the markers that ARE present
+
+
+def test_trace_dedups_repeated_markers_first_wins():
+    system = ext_system()
+    recorder = system.trace
+    for label in ("descriptor_written", "dispatch_start", "dispatch_done"):
+        recorder.record("host", label)
+    for label in ("doorbell", "awake", "decoded", "completion_signalled"):
+        recorder.record("cluster1", label)
+    system.sim.schedule(10, lambda _arg: recorder.record(
+        "cluster1", "doorbell", {"duplicate": True}))
+    system.run()
+    trace = build_offload_trace(recorder, 0, 100)
+    assert trace.clusters[0].doorbell == 0   # first record wins
 
 
 def test_empty_slices_show_as_no_work():

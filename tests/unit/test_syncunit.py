@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigError, MemoryError_
+from repro.errors import ConfigError, MemoryError_, ProtocolError
 from repro.host.irq import InterruptController
 from repro.sim import Simulator
 from repro.soc.syncunit import (
@@ -84,8 +84,9 @@ def test_clear_disarms():
 
 
 def test_invalid_threshold_rejected():
+    # A bad runtime MMIO write is a protocol bug, not a config error.
     _sim, _irq, unit = make_unit()
-    with pytest.raises(ConfigError):
+    with pytest.raises(ProtocolError):
         unit.write_register(THRESHOLD_OFFSET, 0)
 
 
@@ -94,6 +95,8 @@ def test_unknown_register_rejected():
     with pytest.raises(MemoryError_):
         unit.read_register(0x100)
     with pytest.raises(MemoryError_):
+        unit.write_register(0x100, 5)
+    with pytest.raises(ProtocolError):
         unit.write_register(COUNT_OFFSET, 5)  # count is read-only
 
 
@@ -102,3 +105,91 @@ def test_negative_irq_latency_rejected():
     irq = InterruptController(sim)
     with pytest.raises(ConfigError):
         SyncUnit(sim, irq, irq_latency=-1)
+
+
+# ----------------------------------------------------------------------
+# CLEAR/reset vs in-flight interrupt delivery (the cancellation race)
+# ----------------------------------------------------------------------
+def test_clear_cancels_interrupt_already_in_flight():
+    # The threshold-matching increment schedules the IRQ raise 4 cycles
+    # out; a CLEAR landing inside that window must cancel it, or a
+    # cleared unit spuriously interrupts the host on behalf of an
+    # abandoned job.
+    sim, irq, unit = make_unit(irq_latency=4)
+    unit.write_register(THRESHOLD_OFFSET, 1)
+    sim.schedule(10, lambda arg: unit.write_register(INCREMENT_OFFSET, 1))
+    sim.schedule(12, lambda arg: unit.write_register(CLEAR_OFFSET, 1))
+    sim.run()
+    assert sim.now >= 14   # the delivery callback did run (and dropped)
+    assert unit.interrupts_fired == 0
+    assert not irq.is_pending(IRQ_LINE)
+    assert irq.raise_count(IRQ_LINE) == 0
+
+
+def test_reset_cancels_interrupt_already_in_flight():
+    sim, irq, unit = make_unit(irq_latency=4)
+    unit.write_register(THRESHOLD_OFFSET, 1)
+    sim.schedule(10, lambda arg: unit.write_register(INCREMENT_OFFSET, 1))
+    sim.schedule(12, lambda arg: unit.reset())
+    sim.run()
+    assert unit.interrupts_fired == 0
+    assert not irq.is_pending(IRQ_LINE)
+
+
+def test_rearm_does_not_cancel_previous_jobs_interrupt():
+    # Re-arming for the next job is not a CLEAR: an interrupt already
+    # earned by the previous arming must still be delivered.
+    sim, irq, unit = make_unit(irq_latency=4)
+    unit.write_register(THRESHOLD_OFFSET, 1)
+    sim.schedule(10, lambda arg: unit.write_register(INCREMENT_OFFSET, 1))
+    sim.schedule(12, lambda arg: unit.write_register(THRESHOLD_OFFSET, 1))
+    sim.run()
+    assert unit.interrupts_fired == 1
+    assert irq.is_pending(IRQ_LINE)
+
+
+# ----------------------------------------------------------------------
+# Stale credits (increments while disarmed)
+# ----------------------------------------------------------------------
+def test_disarmed_increment_is_a_stale_credit_not_a_count():
+    _sim, _irq, unit = make_unit()
+    unit.write_register(INCREMENT_OFFSET, 1)
+    assert unit.read_register(COUNT_OFFSET) == 0
+    assert unit.stale_credits == 1
+    # A stale credit must not pre-pay the next job's threshold.
+    unit.write_register(THRESHOLD_OFFSET, 2)
+    unit.write_register(INCREMENT_OFFSET, 1)
+    assert unit.read_register(COUNT_OFFSET) == 1
+    assert not unit.interrupts_fired
+
+
+def test_stale_credit_reported_to_auditor(monkeypatch):
+    from repro import flags
+    from repro.sim import AccessAuditor
+    monkeypatch.delenv(flags.STRICT_ENV, raising=False)
+    sim = Simulator()
+    irq = InterruptController(sim, wake_latency=0)
+    auditor = AccessAuditor(sim)
+    unit = SyncUnit(sim, irq, auditor=auditor)
+    unit.write_register(INCREMENT_OFFSET, 1)
+    assert auditor.count("stale-credit") == 1
+    assert unit.stale_credits == 1
+
+
+def test_stale_credit_raises_in_strict_mode(monkeypatch):
+    from repro import flags
+    from repro.sim import AccessAuditor
+    monkeypatch.setenv(flags.STRICT_ENV, "1")
+    sim = Simulator()
+    irq = InterruptController(sim, wake_latency=0)
+    unit = SyncUnit(sim, irq, auditor=AccessAuditor(sim))
+    with pytest.raises(ProtocolError, match="stale-credit"):
+        unit.write_register(INCREMENT_OFFSET, 1)
+
+
+def test_reset_clears_stale_credits():
+    _sim, _irq, unit = make_unit()
+    unit.write_register(INCREMENT_OFFSET, 1)
+    unit.reset()
+    assert unit.stale_credits == 0
+    assert not unit.armed

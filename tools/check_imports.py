@@ -27,6 +27,11 @@ strategy registry lazily to keep layer 4 below layer 5):
 2. **No cross-module private imports.**  ``from repro.x import _name``
    reaching into a *different* top-level module is forbidden; private
    names are module-internal.
+3. **Per-submodule allowlists.**  A few submodules sit at the *bottom*
+   of their layer by contract (``SUBMODULE_RULES``): ``repro.sim.diag``
+   is imported by the kernel itself, so it may only depend on the
+   leaf pieces listed there — anything else recreates the import cycle
+   the ordering in ``repro/sim/__init__.py`` exists to avoid.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 
@@ -50,6 +55,20 @@ LAYERS = {
     "runtime": 5,
     "core": 6, "energy": 6, "workload": 6,
     "analysis": 7, "experiments": 7, "cli": 7, "__main__": 7,
+}
+
+#: Submodules pinned below their siblings: module -> allowed repro
+#: imports (exact module names).  ``repro.sim.diag`` is imported from
+#: ``repro.sim.kernel`` at module load, so it must never import the
+#: kernel (or anything that does) at module level.
+SUBMODULE_RULES = {
+    "repro.sim.diag": {
+        "repro.errors",
+        "repro.flags",
+        "repro.sim.event",
+        "repro.sim.process",
+        "repro.sim.record",
+    },
 }
 
 
@@ -94,6 +113,12 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
             dep_top = top_module(qualname)
             if dep_top is None:
                 continue
+            allowed = SUBMODULE_RULES.get(name)
+            if allowed is not None and qualname not in allowed:
+                violations.append(
+                    f"{path}:{node.lineno}: {name} may only import "
+                    f"{', '.join(sorted(allowed))} from repro "
+                    f"(imports {qualname}) — see SUBMODULE_RULES")
             dep_layer = LAYERS.get(dep_top)
             if dep_layer is None:
                 violations.append(
