@@ -1,12 +1,13 @@
-"""Sweep-point throughput: the PR-2 simulator optimizations, A/B'd.
+"""Sweep-point throughput: the simulator fast-forward layers, A/B'd.
 
 Not a paper artifact: this tracks how many grid points per second the
-sweep machinery measures, with the three throughput mechanisms
-(bisect + hit-cache routing, pooled SoC reuse, virtualized host
-polling) toggled on and off via their A/B environment gates.  The
-toggles exist precisely because the mechanisms are required to be
-bit-identical in measured cycles — this module asserts that identity on
-the full grid while timing both sides.
+sweep machinery measures, with every throughput mechanism — bisect +
+hit-cache routing, pooled SoC reuse with copy-on-write boot snapshots,
+virtualized host polling, bulk channel timing, and closed-form
+barrier/compute-phase crossings — toggled on and off via the A/B
+environment gates.  The toggles exist precisely because the mechanisms
+are required to be bit-identical in measured cycles — this module
+asserts that identity on the full grid while timing both sides.
 
 Snapshot with::
 
@@ -20,6 +21,11 @@ import os
 import time
 
 from repro.core.sweep import sweep
+from repro.flags import (
+    NAIVE_BARRIER_ENV,
+    NAIVE_CHANNEL_ENV,
+    NAIVE_SNAPSHOT_ENV,
+)
 from repro.mem.map import LINEAR_ROUTING_ENV
 from repro.runtime.protocol import NAIVE_POLL_ENV
 from repro.soc.config import SoCConfig
@@ -31,7 +37,8 @@ N_VALUES = [1024, 4096, 8192]
 M_VALUES = list(range(1, 33))
 VARIANTS = ["baseline", "extended"]
 
-_ALL_GATES = (NAIVE_POLL_ENV, FRESH_SYSTEMS_ENV, LINEAR_ROUTING_ENV)
+_ALL_GATES = (NAIVE_POLL_ENV, FRESH_SYSTEMS_ENV, LINEAR_ROUTING_ENV,
+              NAIVE_CHANNEL_ENV, NAIVE_BARRIER_ENV, NAIVE_SNAPSHOT_ENV)
 
 
 @contextlib.contextmanager
@@ -65,15 +72,22 @@ def _run_grid(reuse):
 
 
 def test_sweep_point_throughput(benchmark):
-    """Points/second with every PR-2 mechanism active (the default)."""
+    """Points/second with every fast-forward mechanism active.
+
+    Five rounds, best-round statistics: the grid does identical work
+    every round, so the fastest round is the least-perturbed one and
+    ``points_per_sec`` is computed from it (a single-round figure is
+    dominated by scheduler noise and CPU-frequency warm-up, which made
+    earlier snapshots of this entry swing by >20%).
+    """
     with _gates(enabled=False):
-        start = time.perf_counter()
         points = benchmark.pedantic(_run_grid, args=(True,),
-                                    rounds=1, iterations=1)
-        elapsed = time.perf_counter() - start
+                                    rounds=5, iterations=1)
     assert len(points) == len(N_VALUES) * len(M_VALUES) * len(VARIANTS)
-    benchmark.extra_info["grid_points"] = len(points)
-    benchmark.extra_info["points_per_sec"] = round(len(points) / elapsed, 1)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        best = benchmark.stats.stats.min
+        benchmark.extra_info["grid_points"] = len(points)
+        benchmark.extra_info["points_per_sec"] = round(len(points) / best, 1)
 
 
 def test_optimizations_are_bit_identical_and_faster(benchmark):

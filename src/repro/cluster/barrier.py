@@ -15,6 +15,16 @@ from repro.errors import SimulationError
 from repro.sim import Event, Simulator
 
 
+def _fire_release(payload: typing.Tuple[Event, int]) -> None:
+    """Trigger a barrier release with its generation as the value.
+
+    Module-level so the fast-forward crossing allocates no closure; the
+    naive path's per-crossing lambda is kept untouched as the reference.
+    """
+    release, generation = payload
+    release.trigger(generation)
+
+
 class Barrier:
     """A reusable barrier for a fixed set of parties."""
 
@@ -31,6 +41,9 @@ class Barrier:
         self._generation = 0
         self._arrived = 0
         self._release: Event = sim.event(name=f"{name}.gen0")
+        #: Generations crossed through :meth:`wait_all_known` (the
+        #: closed-form fast-forward) instead of per-party arrivals.
+        self.ff_crossings = 0
 
     def wait(self) -> typing.Generator:
         """Arrive at the barrier; resumes when all parties have arrived.
@@ -58,6 +71,71 @@ class Barrier:
             yield release
         return generation
 
+    def wait_all_known(self, last_arrival_delay: int) -> typing.Generator:
+        """Cross the barrier in closed form: the caller arrives now and
+        every other party's arrival delay is already known, the largest
+        being ``last_arrival_delay`` cycles from now.
+
+        This is the compute-phase fast-forward: instead of one parked
+        process per party each waking to arrive, the release cycle is
+        ``now + last_arrival_delay + latency`` by construction, and the
+        crossing costs two timer callbacks regardless of party count.
+        Cycle- and order-identical to ``parties - 1`` spawned processes
+        each arriving via :meth:`wait`: the kickoff hop occupies the
+        queue slot of the first spawned party's kickoff, the crossing
+        entry fires where the naive last arrival would resume, and the
+        release trigger is scheduled at that same instant.
+
+        Only valid as the opening arrival of a generation (nobody
+        already waiting); returns the generation crossed, like
+        :meth:`wait`.
+        """
+        generation = self._generation
+        yield self.cross_all_known(last_arrival_delay)
+        return generation
+
+    def cross_all_known(self, last_arrival_delay: int) -> Event:
+        """Non-generator form of :meth:`wait_all_known`: commit the
+        crossing and return the release event for the caller to park
+        on directly (the DM core's flattened fast path)."""
+        if last_arrival_delay < 0:
+            raise SimulationError(
+                f"{self.name}: negative last arrival delay "
+                f"{last_arrival_delay}")
+        if self._arrived:
+            raise SimulationError(
+                f"{self.name}: closed-form crossing with {self._arrived} "
+                "parties already waiting")
+        release = self._release
+        self._arrived = 1
+        self.ff_crossings += 1
+        self.sim.schedule(0, self._ff_kickoff,
+                          (last_arrival_delay, release))
+        return release
+
+    def _ff_kickoff(self, payload: typing.Tuple[int, Event]) -> None:
+        """Runs where the naive path's first spawned party would kick
+        off; places (or runs) the crossing at the last arrival cycle."""
+        delay, release = payload
+        if delay:
+            self.sim.schedule(delay, self._ff_cross, release)
+        else:
+            self._ff_cross(release)
+
+    def _ff_cross(self, release: Event) -> None:
+        """The virtual last arrival: identical bookkeeping and release
+        scheduling to the final :meth:`wait` arrival."""
+        generation = self._generation
+        self._generation += 1
+        self._arrived = 0
+        self._release = self.sim.event(
+            name=f"{self.name}.gen{self._generation}")
+        if self.latency:
+            self.sim.schedule(self.latency, _fire_release,
+                              (release, generation))
+        else:
+            release.trigger(generation)
+
     def reset(self) -> None:
         """Restore boot state: generation zero, nobody waiting.
 
@@ -70,6 +148,25 @@ class Barrier:
                 "parties waiting")
         self._generation = 0
         self._release = self.sim.event(name=f"{self.name}.gen0")
+        self.ff_crossings = 0
+
+    def snapshot(self) -> typing.Tuple[int, int]:
+        """Capture crossing state; only legal with nobody waiting."""
+        if self._arrived:
+            raise SimulationError(
+                f"{self.name}: cannot snapshot with {self._arrived} "
+                "parties waiting")
+        return (self._generation, self.ff_crossings)
+
+    def restore(self, state: typing.Tuple[int, int]) -> None:
+        """Restore a :meth:`snapshot`; only legal with nobody waiting."""
+        if self._arrived:
+            raise SimulationError(
+                f"{self.name}: cannot restore with {self._arrived} "
+                "parties waiting")
+        self._generation, self.ff_crossings = state
+        self._release = self.sim.event(
+            name=f"{self.name}.gen{self._generation}")
 
     @property
     def generation(self) -> int:

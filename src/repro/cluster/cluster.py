@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import typing
 
+from repro import flags
 from repro.cluster.barrier import Barrier
 from repro.cluster.dm_core import serve_jobs
 from repro.cluster.dma import DmaEngine
 from repro.cluster.mailbox import Mailbox
-from repro.cluster.worker import WorkerCore
+from repro.cluster.worker import WorkerCore, split_among_cores
 from repro.errors import ConfigError
 from repro.mem.memory import MainMemory
 from repro.mem.tcdm import Tcdm
@@ -16,7 +17,19 @@ from repro.noc.xbar import Interconnect
 from repro.sim import Simulator, ThroughputChannel, TraceRecorder
 
 if typing.TYPE_CHECKING:
+    from repro.kernels.base import Kernel, WorkSlice
     from repro.soc.fabricbarrier import FabricBarrier
+
+
+def _worker_body(cluster: "Cluster", worker: WorkerCore, kernel: "Kernel",
+                 sub: "WorkSlice", n: int) -> typing.Generator:
+    """One spawned worker core: compute, then meet at the barrier.
+
+    The reference compute-phase body, used when ``REPRO_NAIVE_BARRIER``
+    disables the closed-form crossing.
+    """
+    yield from worker.compute(kernel, sub, n)
+    yield from cluster.barrier.wait()
 
 
 class Cluster:
@@ -71,7 +84,53 @@ class Cluster:
             sim, parties=num_workers + 1, latency=barrier_latency,
             name=f"cluster{cluster_id}.barrier")
         self.jobs_completed = 0
+        #: Compute phases resolved through the barrier's closed-form
+        #: crossing instead of one spawned process per worker core.
+        self.ff_compute_phases = 0
         self._dm_process = None
+
+    def compute_phase(self, kernel: "Kernel", work: "WorkSlice", n: int,
+                      name_suffix: str = "") -> typing.Generator:
+        """Run one worker compute phase over ``work`` (DM-core side).
+
+        Fast path (default): every core's finish delay is known up
+        front (wake latency plus calibrated loop cycles), so the phase
+        charges all worker statistics now and crosses the barrier in
+        closed form — two timer callbacks instead of ``num_workers``
+        spawned processes.  ``REPRO_NAIVE_BARRIER`` selects the
+        reference path: spawn one process per core, each arriving at
+        the barrier individually.  Both paths resume the DM core at the
+        identical cycle with identical event ordering.
+        """
+        if flags.naive_barrier():
+            sub_slices = split_among_cores(work, len(self.workers))
+            label = f"cluster{self.cluster_id}"
+            for worker, sub in zip(self.workers, sub_slices):
+                self.sim.spawn(
+                    _worker_body(self, worker, kernel, sub, n),
+                    name=f"{label}.core{worker.core_id}{name_suffix}",
+                )
+            yield from self.barrier.wait()
+            return
+        yield self.compute_phase_fast(kernel, work, n)
+
+    def compute_phase_fast(self, kernel: "Kernel", work: "WorkSlice",
+                           n: int) -> "typing.Any":
+        """Non-generator form of :meth:`compute_phase`'s fast path.
+
+        Charges every worker core now and returns the barrier release
+        event for the caller to park on directly (the DM core's
+        flattened fast path).  Callers must have checked
+        ``REPRO_NAIVE_BARRIER`` themselves.
+        """
+        sub_slices = split_among_cores(work, len(self.workers))
+        last = 0
+        for worker, sub in zip(self.workers, sub_slices):
+            delay = worker.charge(kernel, sub, n)
+            if delay > last:
+                last = delay
+        self.ff_compute_phases += 1
+        return self.barrier.cross_all_known(last)
 
     def start(self):
         """Spawn the DM core's job-serving loop (idempotent)."""
@@ -90,12 +149,36 @@ class Cluster:
         system-wide invariants).
         """
         self.jobs_completed = 0
+        self.ff_compute_phases = 0
         self.mailbox.reset()
         self.dma.reset()
         self.barrier.reset()
         for worker in self.workers:
             worker.reset()
         self.tcdm.reset()
+
+    def snapshot(self) -> typing.Tuple:
+        """Capture cluster state for warm restore (quiescent only)."""
+        return (
+            self.jobs_completed,
+            self.ff_compute_phases,
+            self.mailbox.snapshot(),
+            self.dma.snapshot(),
+            self.barrier.snapshot(),
+            tuple(worker.snapshot() for worker in self.workers),
+            self.tcdm.snapshot(),
+        )
+
+    def restore(self, state: typing.Tuple) -> None:
+        """Restore a :meth:`snapshot` (quiescent states only)."""
+        (self.jobs_completed, self.ff_compute_phases, mailbox, dma,
+         barrier, workers, tcdm) = state
+        self.mailbox.restore(mailbox)
+        self.dma.restore(dma)
+        self.barrier.restore(barrier)
+        for worker, wstate in zip(self.workers, workers):
+            worker.restore(wstate)
+        self.tcdm.restore(tcdm)
 
     @property
     def num_workers(self) -> int:

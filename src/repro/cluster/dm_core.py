@@ -25,10 +25,9 @@ from __future__ import annotations
 
 import typing
 
-from repro import abi
+from repro import abi, flags
 from repro.errors import OffloadError
 from repro.kernels.base import WorkSlice, split_range
-from repro.cluster.worker import split_among_cores
 
 if typing.TYPE_CHECKING:
     from repro.cluster.cluster import Cluster
@@ -38,15 +37,146 @@ FIRST_BURST_WORDS = 8
 
 
 def serve_jobs(cluster: "Cluster") -> typing.Generator:
-    """The DM core's main loop (a simulation process body)."""
+    """The DM core's main loop (a simulation process body).
+
+    The loop body below *inlines* the default fast path of every phase
+    — doorbell, descriptor fetch, fabric barrier, DMA staging, compute
+    phase, completion — into this single generator frame, parking on
+    the same events the reference helpers park on.  A generator resume
+    re-activates every frame in its ``yield from`` chain, so with ~5-9
+    parks per job the two-to-four-deep helper chain is the dominant
+    per-job interpreter cost; the flat frame pays for one activation
+    per park.  Cycle- and order-identity with the reference is by
+    construction: both paths issue the identical primitive calls (the
+    non-generator forms ``job_event`` / ``book_arrival`` /
+    ``reserve_in`` / ``compute_phase_fast``) in the identical order.
+
+    The ``REPRO_NAIVE_CHANNEL`` / ``REPRO_NAIVE_BARRIER`` gates and the
+    double-buffered exec mode delegate to the reference helpers
+    (:func:`_run_job` and friends), which remain the readable
+    specification of the protocol.
+    """
+    mailbox = cluster.mailbox
+    noc = cluster.noc
+    dma = cluster.dma
+    memory = cluster.memory
+    record = cluster.trace.record
+    cluster_id = cluster.cluster_id
+    label = f"cluster{cluster_id}"
+    wake_latency = cluster.wake_latency
+    decode_cycles = cluster.dm_decode_cycles
+    fabric = cluster.fabric_barrier
     while True:
-        pointer = yield from cluster.mailbox.wait_job()
-        yield from _run_job(cluster, pointer)
+        pointer = yield mailbox.job_event()
+        if flags.naive_channel() or flags.naive_barrier():
+            # Reference path: simulate every phase's event loop.
+            yield from _run_job(cluster, pointer)
+            cluster.jobs_completed += 1
+            continue
+
+        record(label, "doorbell", pointer)
+        if wake_latency:
+            yield wake_latency
+        record(label, "awake")
+
+        # Fetch and decode the descriptor (see _fetch_descriptor).
+        first = yield noc.cluster_read_burst(
+            cluster_id, pointer, FIRST_BURST_WORDS)
+        total = abi.descriptor_words(abi.kernel_from_id(first[0]))
+        words = list(first)
+        if total > FIRST_BURST_WORDS:
+            rest = yield noc.cluster_read_burst(
+                cluster_id, pointer + 8 * FIRST_BURST_WORDS,
+                total - FIRST_BURST_WORDS)
+            words.extend(rest)
+        desc = abi.decode_descriptor(words[:total])
+        if decode_cycles:
+            yield decode_cycles
+        record(label, "decoded", desc.kernel_name)
+
+        kernel = desc.kernel
+        work = _work_slice(cluster, desc, label)
+
+        if fabric is not None:
+            yield fabric.book_arrival(desc.num_clusters,
+                                      group=desc.first_cluster)
+            record(label, "start_barrier_crossed")
+
+        if not work.empty:
+            if desc.exec_mode == abi.EXEC_MODE_DOUBLE_BUFFERED:
+                yield from _execute_double_buffered(
+                    cluster, desc, kernel, work)
+            else:
+                # The phased protocol (see _execute_phased).
+                _check_footprint(cluster, kernel, work, desc.n, label)
+                bytes_in = kernel.slice_bytes_in(work.lo, work.hi, desc.n)
+                done = dma.reserve_in(bytes_in)
+                if done is not None:
+                    yield done
+                else:
+                    yield from dma.transfer_in(bytes_in)
+                inputs = {
+                    name: memory.read_f64(
+                        desc.input_addrs[name],
+                        kernel.input_length(name, desc.n))
+                    for name in kernel.input_names
+                }
+                record(label, "dma_in_done", bytes_in)
+
+                yield cluster.compute_phase_fast(kernel, work, desc.n)
+                fragments = kernel.compute_slice(
+                    desc.n, desc.scalars, inputs, work)
+                record(label, "compute_done")
+
+                bytes_out = kernel.slice_bytes_out(work.lo, work.hi, desc.n)
+                done = dma.reserve_out(bytes_out)
+                if done is not None:
+                    yield done
+                else:
+                    yield from dma.transfer_out(bytes_out)
+                for name, (start, values) in fragments.items():
+                    memory.write_f64(
+                        desc.output_addrs[name] + 8 * start, values)
+                record(label, "dma_out_done", bytes_out)
+
+        # Signal completion (see _signal_completion).
+        if desc.sync_mode == abi.SYNC_MODE_AMO:
+            yield noc.cluster_amo_add(cluster_id, desc.completion_addr, 1)
+        else:
+            yield noc.cluster_write(
+                cluster_id, desc.completion_addr, 1).issued
+        record(label, "completion_signalled")
         cluster.jobs_completed += 1
 
 
+def _work_slice(cluster: "Cluster", desc: abi.JobDescriptor,
+                label: str) -> WorkSlice:
+    """This cluster's slice of the job, validating the dispatch range."""
+    slices = split_range(desc.n, desc.num_clusters)
+    rank = cluster.cluster_id - desc.first_cluster
+    if not 0 <= rank < desc.num_clusters:
+        raise OffloadError(
+            f"{label} received a job for clusters "
+            f"[{desc.first_cluster}, "
+            f"{desc.first_cluster + desc.num_clusters}); the host "
+            "dispatched outside the job's range"
+        )
+    return slices[rank]
+
+
+def _check_footprint(cluster: "Cluster", kernel, work, n: int,
+                     label: str) -> None:
+    """Reject slices whose working set cannot fit the TCDM."""
+    footprint = kernel.slice_tcdm_bytes(work.lo, work.hi, n)
+    if footprint > cluster.tcdm.size_bytes:
+        raise OffloadError(
+            f"{label}: slice working set of {footprint} bytes exceeds "
+            f"the {cluster.tcdm.size_bytes}-byte TCDM; offload to more "
+            "clusters or tile the job"
+        )
+
+
 def _run_job(cluster: "Cluster", pointer: int) -> typing.Generator:
-    sim = cluster.sim
     label = f"cluster{cluster.cluster_id}"
     cluster.trace.record(label, "doorbell", pointer)
 
@@ -62,16 +192,7 @@ def _run_job(cluster: "Cluster", pointer: int) -> typing.Generator:
     cluster.trace.record(label, "decoded", desc.kernel_name)
 
     kernel = desc.kernel
-    slices = split_range(desc.n, desc.num_clusters)
-    rank = cluster.cluster_id - desc.first_cluster
-    if not 0 <= rank < desc.num_clusters:
-        raise OffloadError(
-            f"{label} received a job for clusters "
-            f"[{desc.first_cluster}, "
-            f"{desc.first_cluster + desc.num_clusters}); the host "
-            "dispatched outside the job's range"
-        )
-    work = slices[rank]
+    work = _work_slice(cluster, desc, label)
 
     # Synchronize the job start across all participating clusters: the
     # collective DMA/compute phases must not begin before every member
@@ -103,15 +224,8 @@ def _execute_phased(cluster: "Cluster", desc: abi.JobDescriptor, kernel,
     The three phases are strictly sequential on the cluster, which is
     what makes the measured runtime obey Eq. 1's additive structure.
     """
-    sim = cluster.sim
     label = f"cluster{cluster.cluster_id}"
-    footprint = kernel.slice_tcdm_bytes(work.lo, work.hi, desc.n)
-    if footprint > cluster.tcdm.size_bytes:
-        raise OffloadError(
-            f"{label}: slice working set of {footprint} bytes exceeds "
-            f"the {cluster.tcdm.size_bytes}-byte TCDM; offload to more "
-            "clusters or tile the job"
-        )
+    _check_footprint(cluster, kernel, work, desc.n, label)
 
     # --- Stage operands in ------------------------------------------
     bytes_in = kernel.slice_bytes_in(work.lo, work.hi, desc.n)
@@ -124,13 +238,7 @@ def _execute_phased(cluster: "Cluster", desc: abi.JobDescriptor, kernel,
     cluster.trace.record(label, "dma_in_done", bytes_in)
 
     # --- Compute ------------------------------------------------------
-    sub_slices = split_among_cores(work, len(cluster.workers))
-    for worker, sub in zip(cluster.workers, sub_slices):
-        sim.spawn(
-            _worker_body(cluster, worker, kernel, sub, desc.n),
-            name=f"{label}.core{worker.core_id}",
-        )
-    yield from cluster.barrier.wait()
+    yield from cluster.compute_phase(kernel, work, desc.n)
     fragments = kernel.compute_slice(desc.n, desc.scalars, inputs, work)
     cluster.trace.record(label, "compute_done")
 
@@ -222,13 +330,8 @@ def _execute_double_buffered(cluster: "Cluster", desc: abi.JobDescriptor,
     def computer() -> typing.Generator:
         for k, chunk in enumerate(chunks):
             yield loaded[k]
-            sub_slices = split_among_cores(chunk, len(cluster.workers))
-            for worker, sub in zip(cluster.workers, sub_slices):
-                sim.spawn(
-                    _worker_body(cluster, worker, kernel, sub, desc.n),
-                    name=f"{label}.core{worker.core_id}.chunk{k}",
-                )
-            yield from cluster.barrier.wait()
+            yield from cluster.compute_phase(kernel, chunk, desc.n,
+                                             name_suffix=f".chunk{k}")
             fragments_box[k] = kernel.compute_slice(
                 desc.n, desc.scalars, inputs_box, chunk)
             computed[k].trigger()
@@ -250,11 +353,6 @@ def _execute_double_buffered(cluster: "Cluster", desc: abi.JobDescriptor,
     sim.spawn(computer(), name=f"{label}.dbuf.computer")
     sim.spawn(writer(), name=f"{label}.dbuf.writer")
     yield written[-1]
-
-
-def _worker_body(cluster: "Cluster", worker, kernel, sub, n):
-    yield from worker.compute(kernel, sub, n)
-    yield from cluster.barrier.wait()
 
 
 def _fetch_descriptor(cluster: "Cluster", pointer: int) -> typing.Generator:

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import typing
 
+from repro import flags
 from repro.errors import SimulationError
-from repro.sim import Simulator, ThroughputChannel
+from repro.sim import Event, Simulator, ThroughputChannel
 
 
 class DmaEngine:
@@ -39,6 +40,13 @@ class DmaEngine:
         self.transfers_out = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        #: Transfers resolved through a channel reservation (one parked
+        #: event) instead of the setup-then-transfer event pair.
+        self.ff_transfers = 0
+        #: Transfers that wanted the fast path but had to take the
+        #: event loop (channel without reservations, mismatched setup
+        #: lead, or a poisoned reservation window).
+        self.ff_fallbacks = 0
 
     def reset(self) -> None:
         """Zero the statistics counters (boot state)."""
@@ -46,6 +54,18 @@ class DmaEngine:
         self.transfers_out = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        self.ff_transfers = 0
+        self.ff_fallbacks = 0
+
+    def snapshot(self) -> typing.Tuple[int, ...]:
+        """Capture the statistics counters; pair with :meth:`restore`."""
+        return (self.transfers_in, self.transfers_out, self.bytes_in,
+                self.bytes_out, self.ff_transfers, self.ff_fallbacks)
+
+    def restore(self, state: typing.Tuple[int, ...]) -> None:
+        """Restore a :meth:`snapshot` of the statistics counters."""
+        (self.transfers_in, self.transfers_out, self.bytes_in,
+         self.bytes_out, self.ff_transfers, self.ff_fallbacks) = state
 
     def transfer_in(self, nbytes: int) -> typing.Generator:
         """Stage ``nbytes`` from main memory into the TCDM.
@@ -59,12 +79,52 @@ class DmaEngine:
         """Write ``nbytes`` of results back to main memory."""
         yield from self._transfer(self.write_channel, nbytes, inbound=False)
 
+    def reserve_in(self, nbytes: int) -> typing.Optional[Event]:
+        """Non-generator form of :meth:`transfer_in`'s fast path.
+
+        Commits the transfer's channel slot in closed form and returns
+        the completion event for the caller to park on directly (the DM
+        core's flattened fast path).  Returns ``None`` — with nothing
+        charged — when the closed form is unavailable (zero bytes or no
+        reservation) and the caller must run the reference generator.
+        Callers must have checked ``REPRO_NAIVE_CHANNEL`` themselves.
+        """
+        return self._reserve(self.read_channel, nbytes, inbound=True)
+
+    def reserve_out(self, nbytes: int) -> typing.Optional[Event]:
+        """Outbound counterpart of :meth:`reserve_in`."""
+        return self._reserve(self.write_channel, nbytes, inbound=False)
+
+    def _reserve(self, channel: ThroughputChannel, nbytes: int,
+                 inbound: bool) -> typing.Optional[Event]:
+        if nbytes <= 0 or not channel.can_reserve(self.setup_cycles):
+            return None
+        if inbound:
+            self.transfers_in += 1
+            self.bytes_in += nbytes
+        else:
+            self.transfers_out += 1
+            self.bytes_out += nbytes
+        self.ff_transfers += 1
+        return channel.reserve_transfer(self.setup_cycles, nbytes)
+
     def _transfer(self, channel: ThroughputChannel, nbytes: int,
                   inbound: bool) -> typing.Generator:
         if nbytes < 0:
             raise SimulationError(f"{self.name}: negative transfer size {nbytes}")
         if nbytes == 0:
             return
+        if not flags.naive_channel():
+            # Fast path: commit the transfer's channel slot in closed
+            # form and park once on its completion, instead of waking
+            # for the setup delay and again for the channel grant.
+            # Cycle- and order-identical to the event path (see
+            # repro.sim.resource module docstring).
+            done = self._reserve(channel, nbytes, inbound)
+            if done is not None:
+                yield done
+                return
+            self.ff_fallbacks += 1
         if inbound:
             self.transfers_in += 1
             self.bytes_in += nbytes

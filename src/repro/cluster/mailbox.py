@@ -37,6 +37,9 @@ class Mailbox(MmioDevice):
         self.job_ptr = 0
         self.jobs_received = 0
         self._waiters: typing.List[Event] = []
+        # One doorbell event is allocated per served job; the label is
+        # part of the deadlock-report contract, so intern it once.
+        self._ring_name = f"mailbox{cluster_id}.ring"
 
     # ------------------------------------------------------------------
     # MMIO interface (invoked by the interconnect at delivery time)
@@ -79,6 +82,15 @@ class Mailbox(MmioDevice):
         self.job_ptr = 0
         self.jobs_received = 0
 
+    def snapshot(self) -> typing.Tuple[int, int]:
+        """Capture latch and statistics (waiters are live state, kept)."""
+        return (self.job_ptr, self.jobs_received)
+
+    def restore(self, state: typing.Tuple[int, int]) -> None:
+        """Restore a :meth:`snapshot`; parked waiters survive, as in
+        :meth:`reset`."""
+        self.job_ptr, self.jobs_received = state
+
     @property
     def waiters(self) -> int:
         """Number of processes parked on the doorbell (boot state: 1)."""
@@ -87,6 +99,14 @@ class Mailbox(MmioDevice):
     # ------------------------------------------------------------------
     # Device-side interface
     # ------------------------------------------------------------------
+    def job_event(self) -> Event:
+        """Park on the doorbell: returns the event the next ring
+        triggers with the job pointer (non-generator form of
+        :meth:`wait_job`, for the DM core's flattened main loop)."""
+        event = self.sim.event(name=self._ring_name)
+        self._waiters.append(event)
+        return event
+
     def wait_job(self) -> typing.Generator:
         """DM-core wait for the next doorbell; returns the job pointer.
 
@@ -95,7 +115,5 @@ class Mailbox(MmioDevice):
         observing completion of the previous one, which the offload
         runtimes guarantee).
         """
-        event = self.sim.event(name=f"mailbox{self.cluster_id}.ring")
-        self._waiters.append(event)
-        pointer = yield event
+        pointer = yield self.job_event()
         return pointer

@@ -10,6 +10,7 @@ model when the split is ragged — visible in the MAPE experiment).
 
 from __future__ import annotations
 
+import functools
 import typing
 
 from repro.errors import ConfigError
@@ -31,6 +32,20 @@ class WorkerCore:
         self.jobs_executed = 0
         self.busy_cycles = 0
 
+    def charge(self, kernel: Kernel, sub_slice: WorkSlice, n: int) -> int:
+        """Charge one compute phase's statistics and return the delay
+        (wake plus loop cycles) until this core meets the barrier.
+
+        The analytic twin of :meth:`compute`: the compute-phase
+        fast-forward charges every core up front and resolves the phase
+        to the maximum returned delay instead of parking one process
+        per core.
+        """
+        cycles = kernel.compute_cycles(sub_slice.elements, n)
+        self.jobs_executed += 1
+        self.busy_cycles += cycles
+        return self.wake_latency + cycles
+
     def compute(self, kernel: Kernel, sub_slice: WorkSlice,
                 n: int) -> typing.Generator:
         """Run the kernel's loop over ``sub_slice`` (timing only).
@@ -38,14 +53,11 @@ class WorkerCore:
         Empty sub-slices still pay the wake latency (the core is
         released from the barrier and immediately re-parks).
         """
-        cycles = kernel.compute_cycles(sub_slice.elements, n)
-        self.jobs_executed += 1
-        self.busy_cycles += cycles
         # One scheduler event instead of wake-then-compute: the core
         # resumes at the identical cycle, and nothing can observe the
         # intermediate wake instant (the core touches no shared
         # resource between waking and finishing its loop).
-        delay = self.wake_latency + cycles
+        delay = self.charge(kernel, sub_slice, n)
         if delay:
             yield delay
 
@@ -54,11 +66,33 @@ class WorkerCore:
         self.jobs_executed = 0
         self.busy_cycles = 0
 
+    def snapshot(self) -> typing.Tuple[int, int]:
+        """Capture the statistics counters; pair with :meth:`restore`."""
+        return (self.jobs_executed, self.busy_cycles)
+
+    def restore(self, state: typing.Tuple[int, int]) -> None:
+        """Restore a :meth:`snapshot` of the statistics counters."""
+        self.jobs_executed, self.busy_cycles = state
+
+
+@functools.lru_cache(maxsize=4096)
+def _split_among_cores_cached(
+        elements: int, lo: int,
+        num_cores: int) -> typing.Tuple[WorkSlice, ...]:
+    relative = split_range(elements, num_cores)
+    return tuple(
+        WorkSlice(index=sub.index, lo=lo + sub.lo, hi=lo + sub.hi)
+        for sub in relative
+    )
+
 
 def split_among_cores(work: WorkSlice, num_cores: int) -> typing.List[WorkSlice]:
-    """Split a cluster's slice into per-core sub-slices (block schedule)."""
-    relative = split_range(work.elements, num_cores)
-    return [
-        WorkSlice(index=sub.index, lo=work.lo + sub.lo, hi=work.lo + sub.hi)
-        for sub in relative
-    ]
+    """Split a cluster's slice into per-core sub-slices (block schedule).
+
+    Memoized per ``(elements, lo, num_cores)`` the way ``split_range``
+    is per ``(total, parts)``: a sweep recomputes the same splits for
+    every job, and ``WorkSlice`` is frozen so cached slices are safely
+    shared.
+    """
+    return list(_split_among_cores_cached(
+        work.elements, work.lo, num_cores))

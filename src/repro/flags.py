@@ -11,6 +11,16 @@ variable                  effect
 ``REPRO_NAIVE_POLL``      baseline completion wait simulates every
                           poll iteration instead of the cycle-exact
                           watchpoint fast-forward
+``REPRO_NAIVE_CHANNEL``   DMA engines simulate the setup delay and the
+                          shared-channel transfer as separate scheduler
+                          events instead of one analytic reservation
+``REPRO_NAIVE_BARRIER``   cluster compute phases spawn one process per
+                          worker core and fabric-barrier arrivals pay
+                          their wire latency as simulated waits,
+                          instead of the closed-form release schedule
+``REPRO_NAIVE_SNAPSHOT``  system pools recycle instances through the
+                          full ``reset()`` component walk instead of
+                          restoring the captured boot snapshot
 ``REPRO_LINEAR_ROUTING``  address maps fall back to the unsorted
                           linear region scan (pre-bisect routing);
                           sampled at map construction time
@@ -46,6 +56,25 @@ import typing
 #: Used by the A/B property tests proving the fast path is cycle-exact.
 NAIVE_POLL_ENV = "REPRO_NAIVE_POLL"
 
+#: Environment variable: when set (non-empty), DMA engines pay their
+#: setup delay and shared-channel transfer as two separate simulated
+#: waits instead of committing a single analytic channel reservation.
+#: Used by the A/B property tests proving the reservation fast path is
+#: cycle-exact.
+NAIVE_CHANNEL_ENV = "REPRO_NAIVE_CHANNEL"
+
+#: Environment variable: when set (non-empty), cluster compute phases
+#: spawn one process per worker core (each paying its wake latency and
+#: barrier arrival as simulated waits) and fabric-barrier arrivals
+#: simulate their wire latency, instead of the closed-form
+#: max-of-known-delays release schedule.
+NAIVE_BARRIER_ENV = "REPRO_NAIVE_BARRIER"
+
+#: Environment variable: when set (non-empty), system pools recycle
+#: instances through the full ``reset()`` component walk instead of
+#: restoring a captured boot snapshot.
+NAIVE_SNAPSHOT_ENV = "REPRO_NAIVE_SNAPSHOT"
+
 #: Environment variable: when set (non-empty) at map construction time,
 #: ``region_at`` falls back to the unsorted linear scan (and port
 #: routers bypass their hit slots).  Routing is functional, so this is
@@ -68,7 +97,8 @@ STRICT_ENV = "REPRO_STRICT"
 
 #: Every gate this module owns, for introspection and for benchmarks
 #: that must run with a known-clean environment.
-ALL_GATES = (NAIVE_POLL_ENV, LINEAR_ROUTING_ENV, FRESH_SYSTEMS_ENV,
+ALL_GATES = (NAIVE_POLL_ENV, NAIVE_CHANNEL_ENV, NAIVE_BARRIER_ENV,
+             NAIVE_SNAPSHOT_ENV, LINEAR_ROUTING_ENV, FRESH_SYSTEMS_ENV,
              CACHE_DIR_ENV, STRICT_ENV)
 
 
@@ -79,6 +109,21 @@ def _enabled(name: str) -> bool:
 def naive_poll() -> bool:
     """Whether ``REPRO_NAIVE_POLL`` forces the reference poll loop."""
     return _enabled(NAIVE_POLL_ENV)
+
+
+def naive_channel() -> bool:
+    """Whether ``REPRO_NAIVE_CHANNEL`` forces per-event DMA timing."""
+    return _enabled(NAIVE_CHANNEL_ENV)
+
+
+def naive_barrier() -> bool:
+    """Whether ``REPRO_NAIVE_BARRIER`` forces per-participant events."""
+    return _enabled(NAIVE_BARRIER_ENV)
+
+
+def naive_snapshot() -> bool:
+    """Whether ``REPRO_NAIVE_SNAPSHOT`` forces full pool resets."""
+    return _enabled(NAIVE_SNAPSHOT_ENV)
 
 
 def linear_routing() -> bool:

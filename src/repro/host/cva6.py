@@ -30,7 +30,7 @@ import typing
 
 from repro.host.irq import InterruptController
 from repro.host.lsu import LoadStoreUnit
-from repro.sim import Simulator, TraceRecorder
+from repro.sim import Event, Simulator, TraceRecorder
 
 
 class HostCore:
@@ -75,6 +75,25 @@ class HostCore:
         yield handle.issued
         return handle
 
+    def store_block(
+            self, blocks: typing.Sequence[
+                typing.Tuple[int, typing.Sequence[int]]]
+    ) -> typing.Optional[Event]:
+        """Closed-form run of posted stores ending in a release fence.
+
+        The cycle-exact equivalent of issuing every word of every
+        ``(base_addr, words)`` block with :meth:`store_posted` and the
+        final word with :meth:`store` — statistics included — but
+        resolved as one scheduler event.  Returns the fence-ack event
+        to ``yield`` on, or ``None`` (charging nothing) when the
+        closed form cannot be proven safe and the caller must loop.
+        """
+        done = self.lsu.store_block(blocks)
+        if done is not None:
+            self.retired_operations += sum(
+                len(words) for _base, words in blocks)
+        return done
+
     def multicast_store(self, addresses: typing.Sequence[int],
                         value: int) -> typing.Generator:
         """Posted multicast store to every address in ``addresses``."""
@@ -106,6 +125,16 @@ class HostCore:
         self.retired_operations = 0
         self.slept_cycles = 0
         self.lsu.reset()
+
+    def snapshot(self) -> typing.Tuple:
+        """Capture execution statistics (core + LSU)."""
+        return (self.retired_operations, self.slept_cycles,
+                self.lsu.snapshot())
+
+    def restore(self, state: typing.Tuple) -> None:
+        """Restore a :meth:`snapshot`."""
+        self.retired_operations, self.slept_cycles, lsu = state
+        self.lsu.restore(lsu)
 
     # ------------------------------------------------------------------
     # Program execution

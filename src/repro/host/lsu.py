@@ -38,10 +38,38 @@ class LoadStoreUnit:
         self.multicast_stores_issued = 0
         self.loads_issued = 0
 
+    def snapshot(self) -> typing.Tuple[int, int, int]:
+        """Capture the issue counters."""
+        return (self.stores_issued, self.multicast_stores_issued,
+                self.loads_issued)
+
+    def restore(self, state: typing.Tuple[int, int, int]) -> None:
+        """Restore a :meth:`snapshot`."""
+        (self.stores_issued, self.multicast_stores_issued,
+         self.loads_issued) = state
+
     def store(self, addr: int, value: int) -> WriteHandle:
         """Issue a unicast store."""
         self.stores_issued += 1
         return self.noc.host_write(addr, value)
+
+    def store_block(
+            self, blocks: typing.Sequence[
+                typing.Tuple[int, typing.Sequence[int]]]
+    ) -> typing.Optional[Event]:
+        """Issue a run of back-to-back stores in closed form.
+
+        Delegates to :meth:`repro.noc.Interconnect.host_write_block`;
+        on success the issue counter advances by the full store count
+        and the returned event fires at the final ack.  Returns
+        ``None`` (and charges nothing) when the closed form is
+        unavailable — the caller must issue word by word.
+        """
+        done = self.noc.host_write_block(blocks)
+        if done is not None:
+            self.stores_issued += sum(
+                len(words) for _base, words in blocks)
+        return done
 
     def multicast_store(self, addresses: typing.Sequence[int],
                         value: int) -> WriteHandle:

@@ -134,6 +134,22 @@ class PortRouter:
             return target.read_register(addr - region.base)
         return target.read_word(addr)
 
+    def read_words(self, addr: int, nwords: int) -> typing.List[int]:
+        """Route a naturally-ordered multi-word read (burst data phase).
+
+        Resolves the region once when the whole range falls inside a
+        plain-memory region — the overwhelmingly common case, a DM core
+        bursting a descriptor out of DRAM — and falls back to word-by-
+        word routing across region boundaries or MMIO targets.
+        Functionally identical to ``nwords`` :meth:`read_word` calls.
+        """
+        region = self.region_at(addr)
+        target = region.target
+        if (not isinstance(target, MmioDevice)
+                and addr + 8 * nwords <= region.end):
+            return target.read_words(addr, nwords)
+        return [self.read_word(addr + 8 * i) for i in range(nwords)]
+
     def write_word(self, addr: int, value: int) -> None:
         """Route a word write to the owning region's target."""
         region = self.region_at(addr)
@@ -295,6 +311,12 @@ class AddressMap:
     def clear_watchpoints(self) -> None:
         """Drop every watchpoint (system reset)."""
         self._watchpoints.clear()
+
+    @property
+    def has_watchpoints(self) -> bool:
+        """Whether any watchpoint is armed (bulk store paths must then
+        fall back to per-word delivery so callbacks fire on time)."""
+        return bool(self._watchpoints)
 
     # ------------------------------------------------------------------
     # Word-level routed access (used by the interconnect at delivery time)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import typing
+
 import numpy
 
 from repro.errors import MemoryError_
@@ -80,6 +82,30 @@ class MainMemory:
         self._data[offset:offset + WORD_BYTES].view(numpy.uint64)[0] = (
             value % (1 << 64)
         )
+
+    def read_words(self, addr: int, nwords: int) -> list:
+        """Read ``nwords`` consecutive aligned words (one array slice).
+
+        Equivalent to ``nwords`` :meth:`read_word` calls; burst reads
+        use it to pay the bounds check and view construction once.
+        """
+        self._check_aligned(addr)
+        offset = self._offset(addr, nwords * WORD_BYTES)
+        return self._data[offset:offset + nwords * WORD_BYTES] \
+            .view(numpy.uint64).tolist()
+
+    def write_words(self, addr: int, values: typing.Sequence[int]) -> None:
+        """Write consecutive aligned words (one array slice).
+
+        Equivalent to one :meth:`write_word` per value (including the
+        modulo-2**64 wrap); bulk store paths use it to pay the bounds
+        check and view construction once.
+        """
+        self._check_aligned(addr)
+        nbytes = len(values) * WORD_BYTES
+        offset = self._offset(addr, nbytes)
+        self._data[offset:offset + nbytes].view(numpy.uint64)[:] = [
+            value % (1 << 64) for value in values]
 
     @staticmethod
     def _check_aligned(addr: int) -> None:
@@ -165,6 +191,31 @@ class MainMemory:
         if used:
             self._data[:used] = 0
         self._next_alloc = self.base
+
+    def snapshot(self) -> tuple:
+        """Capture allocator position and allocated-prefix contents.
+
+        Relies on the same invariant as :meth:`reset`: the bump
+        allocator is monotonic and every functional write lands below
+        ``_next_alloc``, so the prefix *is* the dirty state.  Cost is
+        O(allocated), not O(capacity).
+        """
+        used = self._next_alloc - self.base
+        return (self._next_alloc, self._data[:used].copy())
+
+    def restore(self, state: tuple) -> None:
+        """Restore a :meth:`snapshot` in O(dirty state).
+
+        Bytes dirtied since the snapshot but beyond its allocated
+        prefix are re-zeroed; bytes inside the prefix are overwritten
+        from the captured copy.
+        """
+        next_alloc, prefix = state
+        used = self._next_alloc - self.base
+        if used > prefix.size:
+            self._data[prefix.size:used] = 0
+        self._data[:prefix.size] = prefix
+        self._next_alloc = next_alloc
 
     @property
     def allocated_bytes(self) -> int:

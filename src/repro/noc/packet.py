@@ -8,7 +8,6 @@ traces something concrete to assert on (ordering, counts, targets).
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 import typing
 
@@ -22,9 +21,22 @@ class TransactionKind(enum.Enum):
     MULTICAST_WRITE = "multicast_write"
 
 
-@dataclasses.dataclass(frozen=True)
-class Transaction:
+class _TransactionFields(typing.NamedTuple):
+    kind: "TransactionKind"
+    source: str
+    addresses: typing.Tuple[int, ...]
+    value: typing.Optional[int]
+    posted: bool
+    issued_at: int
+
+
+class Transaction(_TransactionFields):
     """One interconnect transaction.
+
+    Built on a named tuple (with validation in ``__new__``) rather than
+    a frozen dataclass: the interconnect logs one of these per control
+    operation, so construction cost is paid tens of thousands of times
+    per measurement.
 
     Attributes
     ----------
@@ -42,22 +54,22 @@ class Transaction:
         Cycle the transaction entered its request port.
     """
 
-    kind: TransactionKind
-    source: str
-    addresses: typing.Tuple[int, ...]
-    value: typing.Optional[int]
-    posted: bool
-    issued_at: int
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if not self.addresses:
+    def __new__(cls, kind: TransactionKind, source: str,
+                addresses: typing.Tuple[int, ...],
+                value: typing.Optional[int], posted: bool,
+                issued_at: int) -> "Transaction":
+        if not addresses:
             raise ValueError("transaction must target at least one address")
-        if self.kind is not TransactionKind.MULTICAST_WRITE \
-                and len(self.addresses) != 1:
+        if kind is not TransactionKind.MULTICAST_WRITE \
+                and len(addresses) != 1:
             raise ValueError(
-                f"{self.kind.value} transaction must target exactly one "
-                f"address, got {len(self.addresses)}"
+                f"{kind.value} transaction must target exactly one "
+                f"address, got {len(addresses)}"
             )
+        return _TransactionFields.__new__(
+            cls, kind, source, addresses, value, posted, issued_at)
 
     @property
     def address(self) -> int:

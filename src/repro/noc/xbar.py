@@ -26,7 +26,7 @@ import dataclasses
 import typing
 
 from repro.errors import ConfigError
-from repro.mem.map import AddressMap
+from repro.mem.map import AddressMap, MmioDevice
 from repro.noc.packet import Transaction, TransactionKind
 from repro.sim import Event, SerialResource, Simulator
 
@@ -56,6 +56,142 @@ class NocParams:
                 raise ConfigError(f"NocParams.{field.name} must be >= 0, got {value}")
         if self.store_occupancy == 0:
             raise ConfigError("store_occupancy must be at least 1 cycle")
+
+
+class _StoreFlight:
+    """One in-flight store as a chain of plain scheduler callbacks.
+
+    Timing-equivalent to a spawned generator body (``yield issued``,
+    ``yield latency``, write, ``yield response_latency``, ack) but
+    allocates no process or generator frame.  The kick-off hop lands at
+    the exact queue position a process kick-off would, each later step
+    runs where the corresponding generator resume would, and every
+    scheduler entry consumes the same sequence number — so the chain is
+    bit-identical to the process form, transaction for transaction.
+    """
+
+    __slots__ = ("noc", "issued", "latency", "addresses", "value", "router",
+                 "delivered", "acked")
+
+    def __init__(self, noc: "Interconnect", issued: Event, latency: int,
+                 addresses: typing.Tuple[int, ...], value: int, router,
+                 delivered: Event, acked: Event) -> None:
+        self.noc = noc
+        self.issued = issued
+        self.latency = latency
+        self.addresses = addresses
+        self.value = value
+        self.router = router
+        self.delivered = delivered
+        self.acked = acked
+
+    def _kick(self, _arg) -> None:
+        self.issued.add_callback(self._issued)
+
+    def _issued(self, _event) -> None:
+        self.noc.sim.schedule(self.latency, self._deliver, None)
+
+    def _deliver(self, _arg) -> None:
+        noc = self.noc
+        for addr in self.addresses:
+            self.router.write_word(addr, self.value)
+        self.delivered.trigger(noc.sim.now)
+        noc.sim.schedule(noc.params.response_latency, self._ack, None)
+
+    def _ack(self, _arg) -> None:
+        self.acked.trigger(self.noc.sim.now)
+
+
+class _ReadFlight:
+    """One in-flight load (or burst) as a chain of scheduler callbacks.
+
+    A burst (``scalar=False``) reads ``nwords`` consecutive words and
+    delivers the list; its data-beat tail stretches the response delay
+    by one cycle per extra word.  A plain load (``scalar=True``)
+    delivers the single word itself.  The port request is issued
+    *inside* the kick-off hop, exactly where a spawned body's first
+    resume would issue it, so request-port FIFO order is preserved
+    against any traffic scheduled in between.
+    """
+
+    __slots__ = ("noc", "port", "occupancy", "addr", "nwords", "scalar",
+                 "router", "done", "values")
+
+    def __init__(self, noc: "Interconnect", port: SerialResource,
+                 occupancy: int, addr: int, nwords: int, scalar: bool,
+                 router, done: Event) -> None:
+        self.noc = noc
+        self.port = port
+        self.occupancy = occupancy
+        self.addr = addr
+        self.nwords = nwords
+        self.scalar = scalar
+        self.router = router
+        self.done = done
+        self.values: typing.Optional[typing.List[int]] = None
+
+    def _kick(self, _arg) -> None:
+        self.port.request(self.occupancy).add_callback(self._granted)
+
+    def _granted(self, _event) -> None:
+        noc = self.noc
+        noc.sim.schedule(noc.params.request_latency, self._at_target, None)
+
+    def _at_target(self, _arg) -> None:
+        noc = self.noc
+        self.values = self.router.read_words(self.addr, self.nwords)
+        noc.sim.schedule(noc.params.response_latency + (self.nwords - 1),
+                         self._respond, None)
+
+    def _respond(self, _arg) -> None:
+        self.done.trigger(self.values[0] if self.scalar else self.values)
+
+
+class _AmoFlight:
+    """One in-flight atomic fetch-and-add as a callback chain.
+
+    The shared atomics-port request is issued in the post-latency step —
+    the same instant a spawned body would issue it — so the serialization
+    order of concurrent AMOs from different clusters is preserved.
+    """
+
+    __slots__ = ("noc", "port", "addr", "operand", "router", "done", "value")
+
+    def __init__(self, noc: "Interconnect", port: SerialResource, addr: int,
+                 operand: int, router, done: Event) -> None:
+        self.noc = noc
+        self.port = port
+        self.addr = addr
+        self.operand = operand
+        self.router = router
+        self.done = done
+        self.value = 0
+
+    def _kick(self, _arg) -> None:
+        self.port.request(
+            self.noc.params.cluster_port_occupancy).add_callback(self._granted)
+
+    def _granted(self, _event) -> None:
+        noc = self.noc
+        noc.sim.schedule(noc.params.request_latency, self._at_amo, None)
+
+    def _at_amo(self, _arg) -> None:
+        noc = self.noc
+        noc.amo_port.request(
+            noc.params.amo_service_cycles).add_callback(self._serviced)
+
+    def _serviced(self, _event) -> None:
+        noc = self.noc
+        self.value = self.router.amo_add(self.addr, self.operand)
+        noc.sim.schedule(noc.params.response_latency, self._respond, None)
+
+    def _respond(self, _arg) -> None:
+        self.done.trigger(self.value)
+
+
+def _trigger_at_now(event: Event) -> None:
+    """Scheduler callback: trigger ``event`` with the current cycle."""
+    event.trigger(event.sim.now)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,7 +233,18 @@ class Interconnect:
             SerialResource(sim, f"noc.cluster{i}_port") for i in range(num_clusters)
         ]
         self.amo_port = SerialResource(sim, "noc.amo_port")
+        #: Interned per-cluster source labels: one transaction is logged
+        #: per control operation, so building the label with an f-string
+        #: each time is measurable across a sweep.
+        self._cluster_labels = tuple(
+            f"cluster{i}" for i in range(num_clusters))
         self.transactions: typing.List[Transaction] = []
+        #: Closed-form host store runs committed by
+        #: :meth:`host_write_block` (and the stores they covered) —
+        #: fast-forward visibility counters, mirrored into
+        #: ``ManticoreSystem.fastforward_stats``.
+        self.ff_store_runs = 0
+        self.ff_stores = 0
         # Per-initiator routing handles: each port keeps its own
         # last-region hit slot, so one cluster's descriptor burst cannot
         # evict the host's completion-flag region from a shared cache.
@@ -148,7 +295,8 @@ class Interconnect:
     def cluster_write(self, cluster_id: int, addr: int, value: int) -> WriteHandle:
         """A cluster store (e.g. the posted sync-unit increment)."""
         port = self._cluster_port(cluster_id)
-        self._log(TransactionKind.WRITE, f"cluster{cluster_id}", (addr,), value)
+        self._log(TransactionKind.WRITE, self._cluster_labels[cluster_id],
+                  (addr,), value)
         return self._write(port, self.params.cluster_port_occupancy,
                            self.params.request_latency, (addr,), value,
                            self._cluster_routers[cluster_id])
@@ -156,7 +304,8 @@ class Interconnect:
     def cluster_read(self, cluster_id: int, addr: int) -> Event:
         """A cluster load (e.g. the DM core fetching the job descriptor)."""
         port = self._cluster_port(cluster_id)
-        self._log(TransactionKind.READ, f"cluster{cluster_id}", (addr,), None)
+        self._log(TransactionKind.READ, self._cluster_labels[cluster_id],
+                  (addr,), None)
         return self._read(port, self.params.cluster_port_occupancy, addr,
                           self._cluster_routers[cluster_id])
 
@@ -172,18 +321,12 @@ class Interconnect:
             raise ConfigError(f"burst length must be positive, got {nwords}")
         port = self._cluster_port(cluster_id)
         router = self._cluster_routers[cluster_id]
-        self._log(TransactionKind.READ, f"cluster{cluster_id}", (addr,), None)
-        done = self.sim.event(name=f"burst@{addr:#x}")
-
-        def body():
-            yield port.request(self.params.cluster_port_occupancy)
-            yield self.params.request_latency
-            values = [router.read_word(addr + 8 * i)
-                      for i in range(nwords)]
-            yield self.params.response_latency + (nwords - 1)
-            done.trigger(values)
-
-        self.sim.spawn(body(), name=f"noc.burst.c{cluster_id}")
+        self._log(TransactionKind.READ, self._cluster_labels[cluster_id],
+                  (addr,), None)
+        done = self.sim.event(name="noc.burst")
+        flight = _ReadFlight(self, port, self.params.cluster_port_occupancy,
+                             addr, nwords, False, router, done)
+        self.sim.schedule(0, flight._kick, None)
         return done
 
     def cluster_amo_add(self, cluster_id: int, addr: int, operand: int) -> Event:
@@ -195,18 +338,11 @@ class Interconnect:
         """
         port = self._cluster_port(cluster_id)
         router = self._cluster_routers[cluster_id]
-        self._log(TransactionKind.AMO_ADD, f"cluster{cluster_id}", (addr,), operand)
-        done = self.sim.event(name=f"amo@{addr:#x}")
-
-        def body():
-            yield port.request(self.params.cluster_port_occupancy)
-            yield self.params.request_latency
-            yield self.amo_port.request(self.params.amo_service_cycles)
-            old = router.amo_add(addr, operand)
-            yield self.params.response_latency
-            done.trigger(old)
-
-        self.sim.spawn(body(), name=f"noc.amo.c{cluster_id}")
+        self._log(TransactionKind.AMO_ADD, self._cluster_labels[cluster_id],
+                  (addr,), operand)
+        done = self.sim.event(name="noc.amo")
+        flight = _AmoFlight(self, port, addr, operand, router, done)
+        self.sim.schedule(0, flight._kick, None)
         return done
 
     # ------------------------------------------------------------------
@@ -226,36 +362,92 @@ class Interconnect:
         issued = port.request(occupancy)
         delivered = self.sim.event(name="write.delivered")
         acked = self.sim.event(name="write.acked")
-
-        def body():
-            yield issued
-            yield latency
-            for addr in addresses:
-                router.write_word(addr, value)
-            delivered.trigger(self.sim.now)
-            yield self.params.response_latency
-            acked.trigger(self.sim.now)
-
-        self.sim.spawn(body(), name="noc.write")
+        flight = _StoreFlight(self, issued, latency, addresses, value,
+                              router, delivered, acked)
+        # The kick-off hop keeps the issued-event callback registration
+        # at the queue position a spawned body's first resume would use,
+        # so waiter ordering on ``issued`` matches the process form.
+        self.sim.schedule(0, flight._kick, None)
         return WriteHandle(issued=issued, delivered=delivered, acked=acked)
 
     def _read(self, port: SerialResource, occupancy: int, addr: int,
               router) -> Event:
-        done = self.sim.event(name=f"read@{addr:#x}")
-
-        def body():
-            yield port.request(occupancy)
-            yield self.params.request_latency
-            value = router.read_word(addr)
-            yield self.params.response_latency
-            done.trigger(value)
-
-        self.sim.spawn(body(), name="noc.read")
+        done = self.sim.event(name="noc.read")
+        flight = _ReadFlight(self, port, occupancy, addr, 1, True, router,
+                             done)
+        self.sim.schedule(0, flight._kick, None)
         return done
 
     # ------------------------------------------------------------------
     # Analytic fast-forward support (see repro.runtime.protocol)
     # ------------------------------------------------------------------
+    def host_write_block(
+            self, blocks: typing.Sequence[
+                typing.Tuple[int, typing.Sequence[int]]]
+    ) -> typing.Optional[Event]:
+        """Commit a run of back-to-back host stores in closed form.
+
+        ``blocks`` lists ``(base_addr, words)`` runs of consecutive
+        words — the offload setup phase's descriptor stores.  The
+        reference loop issues every word as a posted store (the final
+        one non-posted, the release fence) and parks on each ``issued``
+        event in turn; this closed form charges the identical port
+        occupancy, logs the identical transactions with their true
+        issue cycles, performs the functional writes, and allocates a
+        *single* scheduler event that fires at the fence's ack cycle.
+
+        Safe only when nothing can observe the skipped intermediate
+        cycles, so it refuses (returns ``None``, caller must run the
+        reference loop) unless:
+
+        - the scheduler is empty apart from the caller itself (the
+          setup window is single-actor: clusters are parked on their
+          doorbells and nothing else is in flight);
+        - no watchpoint is armed (delivery-time visibility);
+        - every block lies inside one plain-memory region (MMIO
+          delivery has side effects at delivered-cycle granularity).
+        """
+        if self.sim.pending or self.address_map.has_watchpoints:
+            return None
+        targets = []
+        for base, words in blocks:
+            region = self._host_router.region_at(base)
+            target = region.target
+            if isinstance(target, MmioDevice) \
+                    or base + 8 * len(words) > region.end:
+                return None
+            targets.append(target)
+        sim = self.sim
+        params = self.params
+        now = sim.now
+        occupancy = params.store_occupancy
+        start = max(now, self.host_port.next_free)
+        append = self.transactions.append
+        count = 0
+        for base, words in blocks:
+            for index, word in enumerate(words):
+                # The reference loop logs each store at its call cycle:
+                # the first at ``now``, each later one when its
+                # predecessor's ``issued`` event released the host.
+                append(Transaction(
+                    TransactionKind.WRITE, "host", (base + 8 * index,),
+                    word, False,
+                    now if count == 0 else start + count * occupancy))
+                count += 1
+        for target, (base, words) in zip(targets, blocks):
+            target.write_words(base, words)
+        finish = start + count * occupancy
+        self.host_port.charge_bulk(requests=count,
+                                   busy_cycles=count * occupancy,
+                                   next_free=finish)
+        self.ff_store_runs += 1
+        self.ff_stores += count
+        acked = sim.event(name="noc.host_block.acked")
+        sim.schedule(
+            finish - now + params.request_latency + params.response_latency,
+            _trigger_at_now, acked)
+        return acked
+
     def charge_host_poll_reads(self, addr: int, first_issue: int,
                                period: int, count: int) -> None:
         """Account ``count`` host poll loads without simulating them.
@@ -283,10 +475,33 @@ class Interconnect:
     def reset(self) -> None:
         """Restore boot state: empty transaction log, idle ports."""
         self.transactions.clear()
+        self.ff_store_runs = 0
+        self.ff_stores = 0
         self.host_port.reset()
         self.amo_port.reset()
         for port in self.cluster_ports:
             port.reset()
+
+    def snapshot(self) -> tuple:
+        """Capture port accounting and the transaction log."""
+        return (
+            self.host_port.snapshot(),
+            self.amo_port.snapshot(),
+            tuple(port.snapshot() for port in self.cluster_ports),
+            tuple(self.transactions),
+            self.ff_store_runs,
+            self.ff_stores,
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Restore a :meth:`snapshot` (quiescent states only)."""
+        (host_port, amo_port, cluster_ports, transactions,
+         self.ff_store_runs, self.ff_stores) = state
+        self.host_port.restore(host_port)
+        self.amo_port.restore(amo_port)
+        for port, pstate in zip(self.cluster_ports, cluster_ports):
+            port.restore(pstate)
+        self.transactions[:] = transactions
 
     def _log(self, kind: TransactionKind, source: str,
              addresses: typing.Tuple[int, ...],

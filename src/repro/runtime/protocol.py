@@ -188,19 +188,33 @@ class OffloadRuntime:
 
             # --- 1. Setup: runtime entry + all descriptors ---------------
             yield from host.execute(config.host_setup_cycles)
-            for index, (desc, desc_addr) in enumerate(jobs):
-                words = abi.encode_descriptor(desc)
-                last_job = index == len(jobs) - 1
-                for word_index, word in enumerate(words[:-1]):
-                    yield from host.store_posted(
-                        desc_addr + 8 * word_index, word)
-                if last_job:
-                    # One release fence covers every descriptor store.
-                    yield from host.store(
-                        desc_addr + 8 * (len(words) - 1), words[-1])
-                else:
-                    yield from host.store_posted(
-                        desc_addr + 8 * (len(words) - 1), words[-1])
+            staged = None
+            if not flags.naive_channel():
+                # Closed-form staging: the whole descriptor store run
+                # (every store posted, the last the release fence)
+                # resolves to a single scheduler event.  store_block
+                # itself verifies the single-actor window and falls
+                # back to the reference loop by returning None.
+                staged = host.store_block(
+                    [(desc_addr, abi.encode_descriptor(desc))
+                     for desc, desc_addr in jobs])
+            if staged is not None:
+                yield staged
+            else:
+                for index, (desc, desc_addr) in enumerate(jobs):
+                    words = abi.encode_descriptor(desc)
+                    last_job = index == len(jobs) - 1
+                    for word_index, word in enumerate(words[:-1]):
+                        yield from host.store_posted(
+                            desc_addr + 8 * word_index, word)
+                    if last_job:
+                        # One release fence covers every descriptor
+                        # store.
+                        yield from host.store(
+                            desc_addr + 8 * (len(words) - 1), words[-1])
+                    else:
+                        yield from host.store_posted(
+                            desc_addr + 8 * (len(words) - 1), words[-1])
             system.trace.record("host", "descriptor_written", written_data)
 
             # --- 2. Arm completion --------------------------------------

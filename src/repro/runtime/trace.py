@@ -113,30 +113,37 @@ def build_offload_trace(recorder: TraceRecorder, start_cycle: int,
         names the window bounds and the markers that *are* present, so
         a mis-sliced window is diagnosable without dumping the trace.
     """
-    window = [r for r in recorder.records
-              if start_cycle <= r.cycle < end_cycle]
+    # One pass over the window builds the same first-record-wins index
+    # the per-source scans used to recompute per cluster (the scans were
+    # O(clusters x records), the dominant cost of summarizing a wide
+    # offload).
+    by_source: typing.Dict[str, typing.Dict[str, int]] = {}
+    for record in recorder.records:
+        if start_cycle <= record.cycle < end_cycle:
+            marks = by_source.get(record.source)
+            if marks is None:
+                by_source[record.source] = marks = {}
+            if record.label not in marks:
+                marks[record.label] = record.cycle
+
+    host_marks = by_source.get("host", {})
 
     def host_cycle(label: str) -> int:
-        for record in window:
-            if record.source == "host" and record.label == label:
-                return record.cycle
-        present = sorted({r.label for r in window if r.source == "host"})
-        raise TraceError(
-            f"host marker {label!r} missing from trace window "
-            f"[{start_cycle}, {end_cycle}); host markers present: "
-            f"{present or 'none'}")
+        cycle = host_marks.get(label)
+        if cycle is None:
+            raise TraceError(
+                f"host marker {label!r} missing from trace window "
+                f"[{start_cycle}, {end_cycle}); host markers present: "
+                f"{sorted(host_marks) or 'none'}")
+        return cycle
 
     clusters = []
-    cluster_ids = sorted({
-        int(r.source[len("cluster"):]) for r in window
-        if r.source.startswith("cluster") and r.label == "doorbell"
-    })
+    cluster_ids = sorted(
+        int(src[len("cluster"):]) for src, marks in by_source.items()
+        if src.startswith("cluster") and "doorbell" in marks)
     for cluster_id in cluster_ids:
         source = f"cluster{cluster_id}"
-        marks: typing.Dict[str, int] = {}
-        for record in window:
-            if record.source == source and record.label not in marks:
-                marks[record.label] = record.cycle
+        marks = by_source[source]
         for required in ("doorbell", "awake", "decoded",
                          "completion_signalled"):
             if required not in marks:

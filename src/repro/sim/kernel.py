@@ -245,6 +245,36 @@ class Simulator:
         self.now = 0
         self._sequence = 0
 
+    def snapshot(self) -> typing.Tuple[int, int, int]:
+        """Capture the kernel's clock state (drained queues only).
+
+        Like :meth:`reset`, only legal between runs: queued callbacks
+        carry absolute cycles, so a snapshot with work in flight could
+        never be restored coherently.
+        """
+        if self._queue or self._now_queue:
+            raise SimulationError(
+                f"cannot snapshot with {self.pending} pending callbacks; "
+                "run the simulator to completion first"
+            )
+        return (self.now, self._sequence, self._spawned)
+
+    def restore(self, state: typing.Tuple[int, int, int]) -> None:
+        """Restore a :meth:`snapshot` (drained queues only).
+
+        Component ``restore`` methods run *after* this one so that any
+        absolute cycles inside their states are meaningful against the
+        restored clock.
+        """
+        if self._queue or self._now_queue:
+            raise SimulationError(
+                f"cannot restore with {self.pending} pending callbacks; "
+                "run the simulator to completion first"
+            )
+        if self._running:
+            raise SimulationError("cannot restore while running")
+        self.now, self._sequence, self._spawned = state
+
     @property
     def pending(self) -> int:
         """Number of queued callbacks (a rough liveness indicator)."""

@@ -9,16 +9,18 @@ plain append-only log with query helpers; it never affects timing.
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
 if typing.TYPE_CHECKING:
     from repro.sim.kernel import Simulator
 
 
-@dataclasses.dataclass(frozen=True)
-class TraceRecord:
+class TraceRecord(typing.NamedTuple):
     """One timestamped trace entry.
+
+    A named tuple rather than a dataclass: simulations append tens of
+    thousands of these per measurement, and tuple construction is the
+    cheapest immutable record Python offers.
 
     Attributes
     ----------
@@ -112,6 +114,14 @@ class TraceRecorder:
     def clear(self) -> None:
         """Drop all records."""
         self.records.clear()
+
+    def snapshot(self) -> typing.Tuple[TraceRecord, ...]:
+        """Capture the current log (records are immutable, so no copy)."""
+        return tuple(self.records)
+
+    def restore(self, state: typing.Tuple[TraceRecord, ...]) -> None:
+        """Restore a :meth:`snapshot`."""
+        self.records[:] = state
 
     def __len__(self) -> int:
         return len(self.records)

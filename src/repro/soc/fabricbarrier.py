@@ -29,8 +29,18 @@ from __future__ import annotations
 
 import typing
 
+from repro import flags
 from repro.errors import ConfigError, SimulationError
 from repro.sim import Event, Simulator
+
+
+def _fire_release(release: Event) -> None:
+    """Trigger a release wave stamped with the current cycle.
+
+    Module-level so the fast-forward crossing allocates no closure; the
+    naive path's per-crossing lambda is kept untouched as the reference.
+    """
+    release.trigger(release.sim.now)
 
 
 class FabricBarrier:
@@ -46,6 +56,9 @@ class FabricBarrier:
         #: group id -> (expected, arrived, release event)
         self._groups: typing.Dict[int, typing.Tuple[int, int, Event]] = {}
         self.generations = 0
+        #: Arrivals absorbed by the fast path (counter bookkeeping at
+        #: the arrival write, wire latency virtualized).
+        self.ff_arrivals = 0
 
     def arrive(self, parties: int, group: int = 0) -> typing.Generator:
         """Arrive at ``group`` and wait for all its ``parties`` clusters.
@@ -54,12 +67,25 @@ class FabricBarrier:
         ``parties`` — a mismatch means two jobs' barriers interleaved on
         the same counter, which the offload protocol forbids (concurrent
         jobs use disjoint cluster ranges, hence distinct group IDs).
+
+        Fast path (default): the counter is updated at the arrival
+        write and only the generation-completing arrival schedules
+        events — a latency hop standing in for its in-flight arrival,
+        then the release wave.  The arrival wire latency is a constant,
+        so bookkeeping order at the counter equals the naive in-flight
+        order and both paths release every waiter at the identical
+        cycle with identical event ordering.  ``REPRO_NAIVE_BARRIER``
+        selects the reference path: every arrival simulates its wire
+        latency before touching the counter.
         """
         if parties <= 0:
             raise SimulationError(
                 f"barrier party count must be positive, got {parties}")
         if group < 0:
             raise SimulationError(f"barrier group must be >= 0, got {group}")
+        if not flags.naive_barrier():
+            yield self.book_arrival(parties, group)
+            return
         if self.arrival_latency:
             yield self.arrival_latency
         if group not in self._groups:
@@ -84,6 +110,55 @@ class FabricBarrier:
             self._groups[group] = (expected, arrived, release)
         yield release
 
+    def book_arrival(self, parties: int, group: int = 0) -> Event:
+        """Non-generator form of :meth:`arrive`'s fast path: book the
+        arrival and return the release event for the caller to park on
+        directly (the DM core's flattened fast path).  Callers must
+        have checked ``REPRO_NAIVE_BARRIER`` themselves."""
+        if parties <= 0:
+            raise SimulationError(
+                f"barrier party count must be positive, got {parties}")
+        if group < 0:
+            raise SimulationError(f"barrier group must be >= 0, got {group}")
+        self.ff_arrivals += 1
+        return self._book_arrival(parties, group)
+
+    def _book_arrival(self, parties: int, group: int) -> Event:
+        """Fast-path counter bookkeeping at the arrival write."""
+        if group not in self._groups:
+            release = self.sim.event(
+                name=f"fabric_barrier.g{group}.gen{self.generations}")
+            self._groups[group] = (parties, 0, release)
+        expected, arrived, release = self._groups[group]
+        if expected != parties:
+            raise SimulationError(
+                f"fabric barrier group {group} arrival expects {parties} "
+                f"parties but the open generation expects {expected}")
+        arrived += 1
+        if arrived == expected:
+            del self._groups[group]
+            self.generations += 1
+            # The completing arrival still travels the wire: the
+            # release wave starts ``arrival_latency`` cycles from now,
+            # exactly where the naive path's last in-flight arrival
+            # would schedule it.
+            if self.arrival_latency:
+                self.sim.schedule(self.arrival_latency,
+                                  self._ff_complete, release)
+            else:
+                self._ff_complete(release)
+        else:
+            self._groups[group] = (expected, arrived, release)
+        return release
+
+    def _ff_complete(self, release: Event) -> None:
+        """Runs where the naive last arrival would resume; launches the
+        release wave."""
+        if self.release_latency:
+            self.sim.schedule(self.release_latency, _fire_release, release)
+        else:
+            release.trigger(self.sim.now)
+
     def reset(self) -> None:
         """Restore boot state; only legal with no open generations."""
         if self._groups:
@@ -91,6 +166,23 @@ class FabricBarrier:
                 f"cannot reset fabric barrier with open groups "
                 f"{self.open_groups}")
         self.generations = 0
+        self.ff_arrivals = 0
+
+    def snapshot(self) -> typing.Tuple[int, int]:
+        """Capture crossing state; only legal with no open groups."""
+        if self._groups:
+            raise SimulationError(
+                f"cannot snapshot fabric barrier with open groups "
+                f"{self.open_groups}")
+        return (self.generations, self.ff_arrivals)
+
+    def restore(self, state: typing.Tuple[int, int]) -> None:
+        """Restore a :meth:`snapshot`; only legal with no open groups."""
+        if self._groups:
+            raise SimulationError(
+                f"cannot restore fabric barrier with open groups "
+                f"{self.open_groups}")
+        self.generations, self.ff_arrivals = state
 
     def waiting(self, group: int = 0) -> int:
         """Clusters currently blocked in ``group``'s open generation."""

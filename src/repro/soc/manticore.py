@@ -79,10 +79,16 @@ class ManticoreSystem:
         self.address_map = AddressMap()
         self.address_map.add(Region(
             "dram", self.memory.base, self.memory.size_bytes, self.memory))
+        # The channels' only requesters are the cluster DMA engines,
+        # which all share one setup time — exactly the constant-lead
+        # contract the reservation fast-forward needs (see
+        # repro.sim.resource).
         self.read_channel = ThroughputChannel(
-            self.sim, self.config.mem_read_width_bytes, name="mem.read")
+            self.sim, self.config.mem_read_width_bytes, name="mem.read",
+            reserve_lead=self.config.dma_setup_cycles)
         self.write_channel = ThroughputChannel(
-            self.sim, self.config.mem_write_width_bytes, name="mem.write")
+            self.sim, self.config.mem_write_width_bytes, name="mem.write",
+            reserve_lead=self.config.dma_setup_cycles)
 
         # --- Host complex --------------------------------------------------
         self.irq = InterruptController(
@@ -211,7 +217,17 @@ class ManticoreSystem:
                          cluster.mailbox.waiters)
         return audit.report()
 
-    def reset(self) -> None:
+    def _require_quiescent(self, action: str) -> None:
+        """Run the quiescence audit and raise if the system is dirty."""
+        quiescence = self.audit_quiescence()
+        if not quiescence.ok:
+            error = QuiescenceError(
+                f"cannot {action} a non-quiescent system\n"
+                + quiescence.describe())
+            error.report = quiescence
+            raise error
+
+    def reset(self, audited: bool = False) -> None:
         """Restore the system to boot state for the next measurement.
 
         Safe only once the simulation has fully drained (``run()``
@@ -231,14 +247,14 @@ class ManticoreSystem:
             (queued callbacks, in-flight transactions, parked waiters).
             The failing :class:`~repro.sim.QuiescenceReport` is attached
             as the exception's ``report`` attribute.
+
+        ``audited=True`` skips the audit; only callers that *just* ran
+        it (e.g. :class:`~repro.soc.pool.SystemPool`, which audits on
+        release and recycles with nothing running in between) may pass
+        it.
         """
-        quiescence = self.audit_quiescence()
-        if not quiescence.ok:
-            error = QuiescenceError(
-                "cannot reset a non-quiescent system\n"
-                + quiescence.describe())
-            error.report = quiescence
-            raise error
+        if not audited:
+            self._require_quiescent("reset")
         self.sim.reset()  # validates the queues are drained
         self.trace.clear()
         self.address_map.clear_watchpoints()
@@ -253,6 +269,93 @@ class ManticoreSystem:
         for cluster in self.clusters:
             cluster.reset()
         self.auditor.clear()
+
+    def snapshot(self, audited: bool = False) -> tuple:
+        """Capture the whole system's state between runs.
+
+        Only legal on a quiescent system (same audit as :meth:`reset`):
+        with nothing in flight, the complete mutable state is the
+        components' counters, registers, logs, and allocated memory
+        prefixes, all of which the component ``snapshot()`` methods
+        capture.  The captured tuple is opaque; hand it back to
+        :meth:`restore` on *this* instance (or a structurally identical
+        one).  :class:`repro.soc.pool.SystemPool` uses a post-reset
+        snapshot to hand out boot-state systems in O(dirty state);
+        warm-state snapshots fork a partially-run system instead of
+        replaying its prefix.  ``audited=True`` skips the audit for
+        callers that just ran it themselves.
+        """
+        if not audited:
+            self._require_quiescent("snapshot")
+        return (
+            self.sim.snapshot(),
+            self.trace.snapshot(),
+            self.memory.snapshot(),
+            self.read_channel.snapshot(),
+            self.write_channel.snapshot(),
+            self.noc.snapshot(),
+            self.irq.snapshot(),
+            self.syncunit.snapshot(),
+            self.fabric_barrier.snapshot(),
+            self.host.snapshot(),
+            tuple(cluster.snapshot() for cluster in self.clusters),
+        )
+
+    def restore(self, state: tuple, audited: bool = False) -> None:
+        """Restore a :meth:`snapshot`, bit-identically.
+
+        Only legal on a quiescent system.  The simulation clock is
+        restored first so absolute cycles inside component states are
+        meaningful; watchpoints and audit findings are cleared exactly
+        as :meth:`reset` clears them.  ``audited=True`` skips the
+        audit for callers that just ran it themselves.
+        """
+        if not audited:
+            self._require_quiescent("restore onto")
+        (sim, trace, memory, read_channel, write_channel, noc, irq,
+         syncunit, fabric_barrier, host, clusters) = state
+        self.sim.restore(sim)
+        self.trace.restore(trace)
+        self.address_map.clear_watchpoints()
+        self.memory.restore(memory)
+        self.read_channel.restore(read_channel)
+        self.write_channel.restore(write_channel)
+        self.noc.restore(noc)
+        self.irq.restore(irq)
+        self.syncunit.restore(syncunit)
+        self.fabric_barrier.restore(fabric_barrier)
+        self.host.restore(host)
+        for cluster, cstate in zip(self.clusters, clusters):
+            cluster.restore(cstate)
+        self.auditor.clear()
+
+    # ------------------------------------------------------------------
+    # Fast-forward accounting
+    # ------------------------------------------------------------------
+    def fastforward_stats(self) -> typing.Dict[str, int]:
+        """Aggregate hit/fallback counters of every fast-forward layer.
+
+        A/B harnesses assert on these to prove the fast paths actually
+        engaged (a bit-identical result proves nothing if the closed
+        forms never ran).
+        """
+        return {
+            "channel_requests": (self.read_channel.ff_requests
+                                 + self.write_channel.ff_requests),
+            "channel_conflicts": (self.read_channel.ff_conflicts
+                                  + self.write_channel.ff_conflicts),
+            "dma_transfers": sum(
+                cluster.dma.ff_transfers for cluster in self.clusters),
+            "dma_fallbacks": sum(
+                cluster.dma.ff_fallbacks for cluster in self.clusters),
+            "barrier_crossings": sum(
+                cluster.barrier.ff_crossings for cluster in self.clusters),
+            "compute_phases": sum(
+                cluster.ff_compute_phases for cluster in self.clusters),
+            "fabric_arrivals": self.fabric_barrier.ff_arrivals,
+            "staged_store_runs": self.noc.ff_store_runs,
+            "staged_stores": self.noc.ff_stores,
+        }
 
     # ------------------------------------------------------------------
     # Convenience

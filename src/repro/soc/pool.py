@@ -55,10 +55,18 @@ class SystemPool:
             raise ValueError(f"max_idle must be >= 1, got {max_idle}")
         self.max_idle = max_idle
         self._idle: typing.Dict[str, collections.deque] = {}
+        #: One post-reset (boot-state) snapshot per config digest,
+        #: captured from the first recycled instance; later acquires
+        #: restore it in O(dirty state) instead of walking the full
+        #: reset.  ``REPRO_NAIVE_SNAPSHOT`` disables the restore path.
+        self._boot_snapshots: typing.Dict[str, tuple] = {}
         #: Number of acquires served by reusing an idle instance.
         self.hits = 0
         #: Number of acquires that had to construct a system.
         self.builds = 0
+        #: Number of reused acquires served by restoring the digest's
+        #: boot snapshot (subset of :attr:`hits`).
+        self.restores = 0
         #: Number of released systems dropped for failing the
         #: quiescence audit (non-zero means a measurement leaked
         #: in-flight state — see :meth:`release`).
@@ -73,15 +81,33 @@ class SystemPool:
         ``REPRO_FRESH_SYSTEMS`` set, always constructs.
         """
         if not pooling_disabled():
-            queue = self._idle.get(config.digest())
+            digest = config.digest()
+            queue = self._idle.get(digest)
             while queue:
                 system = queue.pop()
                 # Trace recording is a construction-time choice; only
                 # reuse an instance whose choice matches.
-                if system.trace.enabled == record_trace:
-                    system.reset()
-                    self.hits += 1
-                    return system
+                if system.trace.enabled != record_trace:
+                    continue
+                boot = (None if flags.naive_snapshot()
+                        else self._boot_snapshots.get(digest))
+                # ``audited=True``: this instance entered the idle pool
+                # through :meth:`release`'s quiescence audit and nothing
+                # has run since, so re-auditing here would repeat the
+                # exact walk that just passed.
+                if boot is not None:
+                    # Boot state is the same for every instance of a
+                    # digest, so the captured snapshot applies to any
+                    # of them (property-tested against reset()).
+                    system.restore(boot, audited=True)
+                    self.restores += 1
+                else:
+                    system.reset(audited=True)
+                    if not flags.naive_snapshot():
+                        self._boot_snapshots[digest] = \
+                            system.snapshot(audited=True)
+                self.hits += 1
+                return system
         self.builds += 1
         return ManticoreSystem(config, record_trace=record_trace)
 
@@ -135,8 +161,9 @@ class SystemPool:
         self.release(system)
 
     def clear(self) -> None:
-        """Drop every idle instance."""
+        """Drop every idle instance and captured boot snapshot."""
         self._idle.clear()
+        self._boot_snapshots.clear()
 
     @property
     def idle_count(self) -> int:

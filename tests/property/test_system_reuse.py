@@ -18,6 +18,7 @@ import os
 
 import hypothesis
 import hypothesis.strategies as st
+import pytest
 
 from repro.core.concurrent import ConcurrentJob, offload_concurrent
 from repro.core.offload import offload
@@ -25,15 +26,30 @@ from repro.core.overlap import offload_overlapped
 from repro.runtime.protocol import NAIVE_POLL_ENV
 from repro.soc.config import SoCConfig
 from repro.soc.manticore import ManticoreSystem
-from repro.soc.pool import SystemPool
+from repro.soc.pool import FRESH_SYSTEMS_ENV, SystemPool
 
 SETTINGS = hypothesis.settings(
     max_examples=5, deadline=None,
-    suppress_health_check=[hypothesis.HealthCheck.too_slow])
+    suppress_health_check=[
+        hypothesis.HealthCheck.too_slow,
+        # The autouse gate-clearing fixture is env-only and idempotent
+        # across examples, so function scope is safe.
+        hypothesis.HealthCheck.function_scoped_fixture,
+    ])
 
 N_VALUES = [24, 32, 48, 64, 96]
 M_VALUES = [1, 2, 4]
 VARIANTS = ["baseline", "extended"]
+
+
+@pytest.fixture(autouse=True)
+def _fast_paths_on(monkeypatch):
+    """Pin pooling and the virtualized poll loop on regardless of
+    ambient gates: the CI ``ab-gates`` matrix runs the whole suite with
+    each ``REPRO_*`` gate set, and these tests enable the reference
+    paths *explicitly* where they A/B them."""
+    for name in (NAIVE_POLL_ENV, FRESH_SYSTEMS_ENV):
+        monkeypatch.delenv(name, raising=False)
 
 
 @contextlib.contextmanager

@@ -1,0 +1,101 @@
+"""Unit tests for the benchmark regression gate (tools/check_bench.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_TOOL = (pathlib.Path(__file__).resolve().parents[2]
+         / "tools" / "check_bench.py")
+_spec = importlib.util.spec_from_file_location("check_bench", _TOOL)
+check_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench)
+
+
+def _report(**benches):
+    return {"benchmarks": [
+        {"name": name, "extra_info": extra}
+        for name, extra in benches.items()
+    ]}
+
+
+def test_within_tolerance_passes():
+    reference = _report(sweep={"points_per_sec": 100.0})
+    current = _report(sweep={"points_per_sec": 91.0})
+    failures, lines = check_bench.compare(reference, current, 0.10)
+    assert failures == []
+    assert any("ok" in line for line in lines)
+
+
+def test_regression_past_tolerance_fails():
+    reference = _report(sweep={"points_per_sec": 100.0})
+    current = _report(sweep={"points_per_sec": 89.9})
+    failures, _lines = check_bench.compare(reference, current, 0.10)
+    assert len(failures) == 1
+    assert "sweep.points_per_sec" in failures[0]
+
+
+def test_improvement_passes():
+    reference = _report(ab={"naive_points_per_sec": 50.0,
+                            "optimized_points_per_sec": 100.0})
+    current = _report(ab={"naive_points_per_sec": 55.0,
+                          "optimized_points_per_sec": 140.0})
+    failures, _lines = check_bench.compare(reference, current, 0.10)
+    assert failures == []
+
+
+def test_one_sided_benchmarks_and_keys_are_skipped():
+    reference = _report(gone={"points_per_sec": 10.0},
+                        shared={"points_per_sec": 10.0})
+    current = _report(new={"points_per_sec": 10.0},
+                      shared={"points_per_sec": 10.0,
+                              "extra_points_per_sec": 1.0})
+    failures, lines = check_bench.compare(reference, current, 0.10)
+    assert failures == []
+    text = "\n".join(lines)
+    assert "only in reference" in text
+    assert "new benchmark" in text
+    assert "only in current" in text
+
+
+def test_non_throughput_extra_info_is_ignored():
+    reference = _report(ab={"speedup": 2.34, "grid_points": 192})
+    current = _report(ab={"speedup": 1.0, "grid_points": 10})
+    failures, lines = check_bench.compare(reference, current, 0.10)
+    assert failures == []
+    assert lines == ["  (no comparable throughput figures)"]
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    reference = tmp_path / "ref.json"
+    current = tmp_path / "cur.json"
+    reference.write_text(json.dumps(_report(
+        sweep={"points_per_sec": 100.0})))
+
+    current.write_text(json.dumps(_report(sweep={"points_per_sec": 95.0})))
+    assert check_bench.main(
+        [str(current), "--reference", str(reference)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+    current.write_text(json.dumps(_report(sweep={"points_per_sec": 50.0})))
+    assert check_bench.main(
+        [str(current), "--reference", str(reference)]) == 1
+    assert "regressed" in capsys.readouterr().err
+
+
+def test_main_rejects_bad_tolerance(tmp_path):
+    current = tmp_path / "cur.json"
+    current.write_text(json.dumps(_report()))
+    with pytest.raises(SystemExit):
+        check_bench.main([str(current), "--tolerance", "1.5"])
+
+
+def test_committed_snapshot_is_a_valid_reference():
+    """The checked-in BENCH_sweep.json must stay consumable."""
+    with check_bench.DEFAULT_REFERENCE.open() as handle:
+        reference = json.load(handle)
+    figures = check_bench._throughputs(reference)
+    assert "test_sweep_point_throughput" in figures
+    failures, _lines = check_bench.compare(reference, reference, 0.10)
+    assert failures == []

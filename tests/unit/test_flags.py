@@ -7,6 +7,9 @@ from repro import flags
 
 @pytest.mark.parametrize("accessor, env", [
     (flags.naive_poll, flags.NAIVE_POLL_ENV),
+    (flags.naive_channel, flags.NAIVE_CHANNEL_ENV),
+    (flags.naive_barrier, flags.NAIVE_BARRIER_ENV),
+    (flags.naive_snapshot, flags.NAIVE_SNAPSHOT_ENV),
     (flags.linear_routing, flags.LINEAR_ROUTING_ENV),
     (flags.fresh_systems, flags.FRESH_SYSTEMS_ENV),
     (flags.strict, flags.STRICT_ENV),
@@ -34,9 +37,10 @@ def test_cache_dir_returns_none_when_unset(monkeypatch):
 
 def test_all_gates_is_complete():
     assert set(flags.ALL_GATES) == {
-        flags.NAIVE_POLL_ENV, flags.LINEAR_ROUTING_ENV,
-        flags.FRESH_SYSTEMS_ENV, flags.CACHE_DIR_ENV,
-        flags.STRICT_ENV}
+        flags.NAIVE_POLL_ENV, flags.NAIVE_CHANNEL_ENV,
+        flags.NAIVE_BARRIER_ENV, flags.NAIVE_SNAPSHOT_ENV,
+        flags.LINEAR_ROUTING_ENV, flags.FRESH_SYSTEMS_ENV,
+        flags.CACHE_DIR_ENV, flags.STRICT_ENV}
 
 
 def test_accessors_reread_the_environment(monkeypatch):

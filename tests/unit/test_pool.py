@@ -23,6 +23,14 @@ from repro.soc.pool import FRESH_SYSTEMS_ENV, SystemPool
 CFG = SoCConfig.baseline(num_clusters=2)
 
 
+@pytest.fixture(autouse=True)
+def _pooling_enabled(monkeypatch):
+    """Pool-behaviour tests need pooling on: the CI ``ab-gates`` matrix
+    runs the suite with ``REPRO_FRESH_SYSTEMS`` set, which would turn
+    every acquire into a build and void the reuse assertions."""
+    monkeypatch.delenv(FRESH_SYSTEMS_ENV, raising=False)
+
+
 def _drain(system):
     """Run a minimal measurement so the system is drained and poolable.
 

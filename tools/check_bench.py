@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Benchmark smoke gate: fail on a points-per-second regression.
+
+Compares a freshly generated ``pytest-benchmark`` JSON file (the
+``--benchmark-json`` output of ``benchmarks/bench_sweep_throughput.py``)
+against the committed reference snapshot ``BENCH_sweep.json`` and exits
+non-zero when any shared throughput figure regresses by more than the
+tolerance (default 10%).
+
+Only ``extra_info`` keys ending in ``points_per_sec`` are compared —
+those are the numbers the benchmark module itself derives from
+best-of-N rounds precisely so a loaded runner cannot flake them the way
+raw wall-clock times do.  Benchmarks present on only one side are
+reported but never fail the gate (snapshots regenerate on a different
+cadence than CI).
+
+Usage::
+
+    pytest benchmarks/bench_sweep_throughput.py \
+        --benchmark-json=/tmp/bench.json -q
+    python tools/check_bench.py /tmp/bench.json \
+        [--reference BENCH_sweep.json] [--tolerance 0.10]
+
+Pure stdlib; importable for its :func:`compare` helper (unit-tested in
+``tests/unit/test_check_bench.py``).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_REFERENCE = REPO_ROOT / "BENCH_sweep.json"
+THROUGHPUT_SUFFIX = "points_per_sec"
+
+
+def _throughputs(report):
+    """Map ``benchmark name -> {extra_info key -> points/sec}``."""
+    out = {}
+    for bench in report.get("benchmarks", []):
+        figures = {
+            key: float(value)
+            for key, value in bench.get("extra_info", {}).items()
+            if key.endswith(THROUGHPUT_SUFFIX)
+        }
+        if figures:
+            out[bench["name"]] = figures
+    return out
+
+
+def compare(reference, current, tolerance):
+    """Compare two benchmark reports; returns (failures, lines).
+
+    ``failures`` lists human-readable descriptions of figures that
+    regressed past ``tolerance``; ``lines`` is the full comparison log
+    (one entry per shared figure plus notes for one-sided benchmarks).
+    """
+    ref = _throughputs(reference)
+    cur = _throughputs(current)
+    failures = []
+    lines = []
+    for name in sorted(set(ref) | set(cur)):
+        if name not in cur:
+            lines.append(f"  {name}: only in reference (skipped)")
+            continue
+        if name not in ref:
+            lines.append(f"  {name}: new benchmark (no reference)")
+            continue
+        for key in sorted(set(ref[name]) | set(cur[name])):
+            if key not in ref[name] or key not in cur[name]:
+                side = "reference" if key in ref[name] else "current"
+                lines.append(f"  {name}.{key}: only in {side} (skipped)")
+                continue
+            before, after = ref[name][key], cur[name][key]
+            floor = before * (1.0 - tolerance)
+            ratio = after / before if before else float("inf")
+            verdict = "ok" if after >= floor else "REGRESSION"
+            lines.append(
+                f"  {name}.{key}: {before:.1f} -> {after:.1f} "
+                f"({ratio:.2f}x, floor {floor:.1f}) {verdict}")
+            if after < floor:
+                failures.append(
+                    f"{name}.{key} regressed: {after:.1f} points/sec vs "
+                    f"reference {before:.1f} (> {tolerance:.0%} below)")
+    if not lines:
+        lines.append("  (no comparable throughput figures)")
+    return failures, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=pathlib.Path,
+                        help="freshly generated --benchmark-json file")
+    parser.add_argument("--reference", type=pathlib.Path,
+                        default=DEFAULT_REFERENCE,
+                        help="committed snapshot to compare against "
+                             "(default: BENCH_sweep.json)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional slowdown before failing "
+                             "(default: 0.10)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+
+    with args.reference.open() as handle:
+        reference = json.load(handle)
+    with args.current.open() as handle:
+        current = json.load(handle)
+
+    failures, lines = compare(reference, current, args.tolerance)
+    print(f"check_bench: {args.current} vs {args.reference} "
+          f"(tolerance {args.tolerance:.0%})")
+    print("\n".join(lines))
+    if failures:
+        print(f"\n{len(failures)} throughput regression(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("check_bench: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
