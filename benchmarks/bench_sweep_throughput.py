@@ -3,9 +3,10 @@
 Not a paper artifact: this tracks how many grid points per second the
 sweep machinery measures, with every throughput mechanism — bisect +
 hit-cache routing, pooled SoC reuse with copy-on-write boot snapshots,
-virtualized host polling, bulk channel timing, and closed-form
-barrier/compute-phase crossings — toggled on and off via the A/B
-environment gates.  The toggles exist precisely because the mechanisms
+virtualized host polling, bulk channel timing, closed-form
+barrier/compute-phase crossings, and the batch planner that times most
+grid points as array arithmetic seeded from one calibration run per
+group — toggled on and off via the A/B environment gates.  The toggles exist precisely because the mechanisms
 are required to be bit-identical in measured cycles — this module
 asserts that identity on the full grid while timing both sides.
 
@@ -23,6 +24,7 @@ import time
 from repro.core.sweep import sweep
 from repro.flags import (
     NAIVE_BARRIER_ENV,
+    NAIVE_BATCH_ENV,
     NAIVE_CHANNEL_ENV,
     NAIVE_SNAPSHOT_ENV,
 )
@@ -38,14 +40,15 @@ M_VALUES = list(range(1, 33))
 VARIANTS = ["baseline", "extended"]
 
 _ALL_GATES = (NAIVE_POLL_ENV, FRESH_SYSTEMS_ENV, LINEAR_ROUTING_ENV,
-              NAIVE_CHANNEL_ENV, NAIVE_BARRIER_ENV, NAIVE_SNAPSHOT_ENV)
+              NAIVE_CHANNEL_ENV, NAIVE_BARRIER_ENV, NAIVE_SNAPSHOT_ENV,
+              NAIVE_BATCH_ENV)
 
 
 @contextlib.contextmanager
-def _gates(enabled):
+def _gates(enabled, names=_ALL_GATES):
     saved = {name: os.environ.get(name) for name in _ALL_GATES}
     for name in _ALL_GATES:
-        if enabled:
+        if enabled and name in names:
             os.environ[name] = "1"
         else:
             os.environ.pop(name, None)
@@ -134,3 +137,47 @@ def test_optimizations_are_bit_identical_and_faster(benchmark):
     assert speedup > 1.4, (
         f"sweep optimizations only {speedup:.2f}x faster than the "
         "naive path; expected ~2x")
+
+
+def test_batch_planner_is_bit_identical_and_faster(benchmark):
+    """Isolate the batch planner: every other mechanism on, batching
+    A/B'd.
+
+    ``REPRO_NAIVE_BATCH`` alone is toggled, so both sides enjoy pooled
+    systems, snapshot restores and bulk timing — the measured ratio is
+    the planner's own contribution on the acceptance grid (one
+    calibration simulation per (variant, M) group, the other two
+    problem sizes predicted closed-form).  Interleaved min-of-N as
+    above; bit-identity of the full point stream is the hard gate, the
+    speedup floor stays loose for loaded CI runners.
+    """
+    rounds = 5
+    event_times = []
+    batched_times = []
+    event_points = batched_points = None
+    for index in range(rounds):
+        with _gates(enabled=True, names=(NAIVE_BATCH_ENV,)):
+            gc.collect()
+            start = time.perf_counter()
+            if index == 0:
+                event_points = benchmark.pedantic(_run_grid, args=(True,),
+                                                  rounds=1, iterations=1)
+            else:
+                event_points = _run_grid(True)
+            event_times.append(time.perf_counter() - start)
+        with _gates(enabled=False):
+            gc.collect()
+            start = time.perf_counter()
+            batched_points = _run_grid(True)
+            batched_times.append(time.perf_counter() - start)
+        assert batched_points == event_points
+
+    speedup = min(event_times) / min(batched_times)
+    benchmark.extra_info["event_points_per_sec"] = round(
+        len(event_points) / min(event_times), 1)
+    benchmark.extra_info["batched_points_per_sec"] = round(
+        len(batched_points) / min(batched_times), 1)
+    benchmark.extra_info["batch_speedup"] = round(speedup, 2)
+    assert speedup > 1.3, (
+        f"batch planner only {speedup:.2f}x faster than the event "
+        "engine; expected ~2x")

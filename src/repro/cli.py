@@ -83,6 +83,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "--jobs", "-j", type=int, default=1, metavar="N",
             help="worker processes for measurement sweeps "
                  "(default 1 = serial, 0 = all cores)")
+        cmd.add_argument(
+            "--stats", action="store_true",
+            help="print sweep execution statistics (throughput, cache/"
+                 "pool reuse, batch-plan hit rate) after the command")
 
     sub.add_parser("list", help="list available experiments")
 
@@ -176,8 +180,9 @@ def _run_sweep(args, out: typing.TextIO) -> None:
         out.write(f"{len(result)} points written to {args.csv}\n")
         if cache is not None:
             # Keep bare stdout pure CSV; stats only accompany --csv runs.
+            measured = executor.simulated_points + executor.planned_points
             out.write(f"cache: {executor.cache_hits} hits, "
-                      f"{executor.simulated_points} simulated "
+                      f"{measured} measured "
                       f"({cache.directory})\n")
     else:
         out.write(csv_text)
@@ -226,10 +231,53 @@ def _run_offload(args, out: typing.TextIO) -> None:
         out.write(f"\ntrace written to {args.vcd}\n")
 
 
+def _print_run_stats(out: typing.TextIO) -> None:
+    """Aggregate and print the sweep summaries ``--stats`` collected.
+
+    Figures cover the executors this process ran (the in-process serial
+    path fully; a ``--jobs`` fan-out only reports the parent's share —
+    worker pools live in their own processes).
+    """
+    from repro.core.executor import drain_run_stats
+
+    runs = drain_run_stats()
+    if not runs:
+        out.write("\nsweep statistics: no sweeps executed\n")
+        return
+    total = {key: sum(run[key] for run in runs)
+             for key in runs[0] if key not in ("points_per_second",
+                                               "batch_plan_hit_rate")}
+    rate = (total["points"] / total["elapsed_seconds"]
+            if total["elapsed_seconds"] > 0 else float("inf"))
+    predictable = total["planned_points"] + total["batch_fallback_points"]
+    hit_rate = (100.0 * total["planned_points"] / predictable
+                if predictable else 0.0)
+    out.write(
+        f"\nsweep statistics ({len(runs)} sweep"
+        f"{'s' if len(runs) != 1 else ''}):\n"
+        f"  points      {total['points']} in "
+        f"{total['elapsed_seconds']:.2f}s ({rate:.1f} points/s)\n"
+        f"  cache       {total['cache_hits']} hits, "
+        f"{total['cache_misses']} misses\n"
+        f"  batch plan  {total['planned_points']} planned, "
+        f"{total['simulated_points']} simulated, "
+        f"{total['batch_fallback_points']} fallbacks "
+        f"(hit rate {hit_rate:.1f}%)\n"
+        f"  pool        {total['pool_hits']} reused "
+        f"({total['pool_restores']} snapshot restores), "
+        f"{total['pool_builds']} built, {total['pool_dropped']} dropped\n"
+        f"  resumes     {total['sim_resumes']} process wake-ups in the "
+        f"event engine\n")
+
+
 def main(argv: typing.Optional[typing.Sequence[str]] = None,
          out: typing.TextIO = sys.stdout) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    want_stats = getattr(args, "stats", False)
+    if want_stats:
+        from repro.core.executor import collect_run_stats
+        collect_run_stats()
     try:
         if args.command == "list":
             for name, (help_text, _fn) in _EXPERIMENTS.items():
@@ -246,6 +294,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
             _run_report(args, out)
         else:
             _run_experiment(args.command, args.clusters, out, jobs=args.jobs)
+        if want_stats:
+            _print_run_stats(out)
     except ReproError as error:
         out.write(f"error: {error}\n")
         return 1

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import functools
 import typing
+
+import numpy
 
 from repro import flags
 from repro.cluster.barrier import Barrier
@@ -19,6 +22,25 @@ from repro.sim import Simulator, ThroughputChannel, TraceRecorder
 if typing.TYPE_CHECKING:
     from repro.kernels.base import Kernel, WorkSlice
     from repro.soc.fabricbarrier import FabricBarrier
+
+
+@functools.lru_cache(maxsize=4096)
+def _phase_core_cycles(kernel: "Kernel", elements: int, num_cores: int,
+                       n: int) -> typing.Tuple[int, ...]:
+    """Per-core compute cycles for one cluster compute phase.
+
+    The whole phase's timing is a function of the cluster slice's
+    element count alone (the block schedule splits counts, not
+    positions), so one NumPy pass over the per-core counts — via the
+    kernel's vectorized timing — covers every cluster and every job of
+    a sweep that shares the shape.  Kernel instances are registry
+    singletons, so keying the memo on the object is stable.
+    """
+    from repro.kernels.base import split_range
+    counts = numpy.fromiter(
+        (sub.hi - sub.lo for sub in split_range(elements, num_cores)),
+        dtype=numpy.int64, count=num_cores)
+    return tuple(int(c) for c in kernel.compute_cycles_array(counts, n))
 
 
 def _worker_body(cluster: "Cluster", worker: WorkerCore, kernel: "Kernel",
@@ -123,10 +145,13 @@ class Cluster:
         flattened fast path).  Callers must have checked
         ``REPRO_NAIVE_BARRIER`` themselves.
         """
-        sub_slices = split_among_cores(work, len(self.workers))
+        cycles = _phase_core_cycles(
+            kernel, work.elements, len(self.workers), n)
         last = 0
-        for worker, sub in zip(self.workers, sub_slices):
-            delay = worker.charge(kernel, sub, n)
+        for worker, worker_cycles in zip(self.workers, cycles):
+            worker.jobs_executed += 1
+            worker.busy_cycles += worker_cycles
+            delay = worker.wake_latency + worker_cycles
             if delay > last:
                 last = delay
         self.ff_compute_phases += 1

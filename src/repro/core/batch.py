@@ -1,0 +1,488 @@
+"""Batched sweep timing: predict whole N-columns from one calibration.
+
+A sweep grid re-runs the same offload protocol over and over with only
+the problem size N changing: the host setup, descriptor store,
+completion arming, doorbell distribution and cluster wake/decode
+sequence are all independent of N, and once the start barrier releases,
+every downstream cycle (DMA chains on the shared channels, the
+closed-form compute phase, the completion stores and the host's
+poll/WFI observation) is a deterministic integer function of the slice
+shapes.  :class:`BatchPlanner` exploits that: for every group of grid
+points sharing an offload width M it simulates **one** calibration
+point through the event engine, extracts the N-independent prefix from
+its :class:`~repro.runtime.trace.OffloadTrace`, and times every other N
+of the group as NumPy array arithmetic — bit-identical to the event
+engine, a property the planner *proves* per group before using it:
+
+- **structural preconditions** — only the four paper protocol variants
+  (exact strategy types), a full ``0..M-1`` cluster range, non-empty
+  DMA transfers for every working slice, and shapes that fit TCDM and
+  main memory are predictable; anything else stays on the event engine;
+- **residual check** — the closed form is evaluated at the calibration
+  N and compared against the *measured* trace, marker for marker
+  (per-cluster DMA/compute/completion cycles, end cycle, every phase);
+  any mismatch falls the whole group back;
+- **ambiguity fallbacks** — completion schedules the algebra cannot
+  order against the host's first poll read or WFI entry (same-cycle
+  races) are refused point by point.
+
+``REPRO_NAIVE_BATCH`` disables the planner entirely; the A/B property
+suite (``tests/property/test_batch_identity.py``) asserts both paths
+return equal :class:`~repro.core.sweep.SweepPoint` streams.
+
+Why the tail is a closed form
+-----------------------------
+All M clusters resume from the start fabric barrier on the same cycle
+``T_rel`` in cluster-id order, so the shared read channel serves their
+input DMAs back to back: ``din_i = T_rel + dma_setup + Σ ceil(bytes_in_j
+/ read_width)`` over working clusters ``j ≤ i``.  The compute phase is
+the barrier's closed-form crossing (wake + max per-core cycles +
+latency).  Output DMAs commit in ``(compute_done, cluster_id)`` order
+and chain the same way on the write channel.  Completion is either the
+serial AMO unit (service chain in commit order, then the host's
+analytic poll schedule) or the sync unit's credit counter (threshold
+match on the last delivery, IRQ after the wire + raise latency, WFI
+wake).  Every term is an integer from :class:`~repro.soc.config.SoCConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro.core.sweep import SweepPoint
+from repro.errors import KernelError, OffloadError
+from repro.kernels.base import Kernel, split_range
+from repro.kernels.registry import get_kernel
+from repro.runtime.strategies import (
+    AmoPollCompletion,
+    MulticastDispatch,
+    SequentialStoreDispatch,
+    SyncUnitCompletion,
+    VariantSpec,
+    get_variant,
+    variant_for_features,
+)
+from repro.soc.config import SoCConfig
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.runtime.trace import OffloadTrace
+    from repro.soc.pool import SystemPool
+
+#: Main-memory slack the conservative fit check keeps free: descriptor
+#: slot (8 words minimum, 64-byte aligned), completion flag, and
+#: allocation padding, rounded up generously.
+_MEMORY_SLACK_BYTES = 4096
+
+#: Dispatch strategies whose doorbell schedule the planner can prove
+#: N-independent (exact types — subclasses may override timing).
+_PROVABLE_DISPATCH = (SequentialStoreDispatch, MulticastDispatch)
+
+#: Completion strategies the tail algebra models (exact types).
+_PROVABLE_COMPLETION = (AmoPollCompletion, SyncUnitCompletion)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Prefix:
+    """The N-independent head of one (config, variant, M) group.
+
+    Extracted from a calibration offload's trace: absolute cycles of
+    the host-side markers plus ``release_cycle``, the cycle every
+    participating cluster resumes from the start fabric barrier
+    (``max(decoded) + arrival latency + release latency``).
+    """
+
+    start_cycle: int
+    dispatch_start: int
+    dispatch_done: int
+    release_cycle: int
+
+
+@dataclasses.dataclass(frozen=True)
+class _Prediction:
+    """One predicted grid point plus the markers the residual check needs.
+
+    Per-cluster entries are ``None`` for clusters whose slice is empty,
+    mirroring :class:`~repro.runtime.trace.ClusterPhases`.
+    """
+
+    point: SweepPoint
+    end_cycle: int
+    dma_in_done: typing.Tuple[typing.Optional[int], ...]
+    compute_done: typing.Tuple[typing.Optional[int], ...]
+    dma_out_done: typing.Tuple[typing.Optional[int], ...]
+    completion_signalled: typing.Tuple[int, ...]
+
+
+def resolve_spec(config: SoCConfig,
+                 variant: str) -> typing.Optional[VariantSpec]:
+    """The variant spec the planner can prove, or ``None``.
+
+    ``None`` means the whole sweep stays on the event engine: unknown
+    variant names and software/hardware mismatches must surface the
+    event path's own :class:`~repro.errors.OffloadError`, and strategy
+    types outside the four paper protocols have timing the closed form
+    has not modelled.
+    """
+    try:
+        if variant == "auto":
+            spec = variant_for_features(config.multicast, config.hw_sync)
+        else:
+            spec = get_variant(variant)
+    except OffloadError:
+        return None
+    if spec.use_multicast and not config.multicast:
+        return None
+    if spec.use_hw_sync and not config.hw_sync:
+        return None
+    if type(spec.dispatch) not in _PROVABLE_DISPATCH:
+        return None
+    if type(spec.completion) not in _PROVABLE_COMPLETION:
+        return None
+    return spec
+
+
+def point_provable(config: SoCConfig, kernel: Kernel, n: int, m: int,
+                   scalars: typing.Mapping[str, float]) -> bool:
+    """Whether one (N, M) point's tail is safely predictable.
+
+    Refuses anything whose event-engine run would raise (invalid shape,
+    TCDM or main-memory overflow — the event path must own the error)
+    and any slice shape the DMA-chain algebra cannot order (zero-byte
+    transfers skip the channel reservation entirely, changing the
+    arbitration order the closed form assumes).
+    """
+    try:
+        kernel.validate(n, scalars)
+        slices = split_range(n, m)
+    except KernelError:
+        return False
+    largest = slices[0]
+    if kernel.slice_tcdm_bytes(largest.lo, largest.hi, n) > config.tcdm_bytes:
+        return False
+    staged = sum(8 * kernel.input_length(name, n)
+                 for name in kernel.input_names)
+    staged += sum(8 * kernel.output_length(name, n, m)
+                  for name in kernel.output_names
+                  if kernel.output_alias(name) is None)
+    if staged + _MEMORY_SLACK_BYTES > config.main_memory_bytes:
+        return False
+    for work in slices:
+        if work.empty:
+            continue
+        if kernel.slice_bytes_in(work.lo, work.hi, n) <= 0:
+            return False
+        if kernel.slice_bytes_out(work.lo, work.hi, n) <= 0:
+            return False
+    return True
+
+
+def extract_prefix(config: SoCConfig, trace: "OffloadTrace",
+                   m: int) -> typing.Optional[_Prefix]:
+    """Pull the N-independent prefix out of a calibration trace.
+
+    ``None`` if the trace does not show the full ``0..M-1`` cluster
+    range the algebra assumes (``first_cluster != 0`` launches, partial
+    doorbell delivery).
+    """
+    if [c.cluster_id for c in trace.clusters] != list(range(m)):
+        return None
+    release = (max(c.decoded for c in trace.clusters)
+               + config.fabric_barrier_arrival_latency
+               + config.fabric_barrier_release_latency)
+    return _Prefix(start_cycle=trace.start_cycle,
+                   dispatch_start=trace.dispatch_start,
+                   dispatch_done=trace.dispatch_done,
+                   release_cycle=release)
+
+
+def predict_point(config: SoCConfig, kernel: Kernel, spec: VariantSpec,
+                  prefix: _Prefix, n: int,
+                  m: int) -> typing.Optional[_Prediction]:
+    """Time one grid point with the closed-form tail algebra.
+
+    Returns ``None`` when the completion schedule is ambiguous against
+    the host's observation (same-cycle races the event engine resolves
+    through queue internals the algebra does not model); callers fall
+    such points back to the event engine.
+    """
+    slices = split_range(n, m)
+    elems = numpy.fromiter((s.hi - s.lo for s in slices),
+                           dtype=numpy.int64, count=m)
+    nonempty = elems > 0
+    ids = numpy.flatnonzero(nonempty)
+    if ids.size == 0:
+        return None
+    release = prefix.release_cycle
+
+    # Input DMA: every working cluster issues its read reservation at
+    # release + dma_setup; the shared channel serves them in cluster-id
+    # order, so finishes are one cumulative sum.
+    b_in = numpy.fromiter(
+        (kernel.slice_bytes_in(slices[i].lo, slices[i].hi, n) for i in ids),
+        dtype=numpy.int64, count=ids.size)
+    read_cycles = -(-b_in // config.mem_read_width_bytes)
+    din = (release + config.dma_setup_cycles + numpy.cumsum(read_cycles))
+
+    # Compute: the barrier's closed-form crossing.  Per-core counts are
+    # q+1 (the first e mod cores workers) and q, so the phase maximum
+    # needs at most two vectorized timing evaluations per cluster.
+    q, r = numpy.divmod(elems[ids], config.cores_per_cluster)
+    cyc_lo = kernel.compute_cycles_array(q, n)
+    cyc_hi = kernel.compute_cycles_array(q + 1, n)
+    phase_max = numpy.where(r > 0, numpy.maximum(cyc_hi, cyc_lo), cyc_lo)
+    compute_done = (din + config.worker_wake_latency + phase_max
+                    + config.barrier_latency)
+
+    # Output DMA: reservations commit in (compute_done, cluster_id)
+    # order and chain on the otherwise-idle write channel.
+    b_out = numpy.fromiter(
+        (kernel.slice_bytes_out(slices[i].lo, slices[i].hi, n) for i in ids),
+        dtype=numpy.int64, count=ids.size)
+    write_cycles = -(-b_out // config.mem_write_width_bytes)
+    dout = numpy.empty_like(compute_done)
+    next_free = 0
+    for k in numpy.lexsort((ids, compute_done)):
+        issue = int(compute_done[k]) + config.dma_setup_cycles
+        start = issue if issue > next_free else next_free
+        next_free = start + int(write_cycles[k])
+        dout[k] = next_free
+
+    # Completion-store commit cycle per cluster: empty slices signal
+    # straight from the start-barrier release, working ones after their
+    # write-back lands.
+    signal = numpy.full(m, release, dtype=numpy.int64)
+    signal[ids] = dout
+    port_occ = config.noc_cluster_port_occupancy
+    req = config.noc_request_latency
+    resp = config.noc_response_latency
+    dispatch_done = prefix.dispatch_done
+
+    if isinstance(spec.completion, AmoPollCompletion):
+        # The memory's AMO unit services increments in commit order;
+        # the host's poll schedule is the analytic fast-forward form.
+        arrival = signal + port_occ + req
+        completion = numpy.empty(m, dtype=numpy.int64)
+        finish = 0
+        for cid in sorted(range(m), key=lambda c: (int(signal[c]), c)):
+            at = int(arrival[cid])
+            finish = (at if at > finish else finish) \
+                + config.noc_amo_service_cycles
+            completion[cid] = finish + resp
+        crossing_write = finish
+        read0 = dispatch_done + config.noc_load_occupancy + req
+        period = (config.noc_load_occupancy + req + resp
+                  + config.host_poll_gap_cycles)
+        if crossing_write <= read0:
+            # The threshold may cross before (or on the very cycle) the
+            # first poll read observes the flag — the first-iteration
+            # path, which the algebra does not model.
+            return None
+        success = (crossing_write - read0) // period + 1
+        end = read0 + success * period + resp
+    else:
+        # Sync unit: posted increments issue one port-occupancy after
+        # commit; the threshold matches on the last delivery and the
+        # IRQ raises after the raise latency.  WFI always pays the wake
+        # latency from whichever of (raise, entry) comes last.
+        issued = signal + port_occ
+        completion = issued.copy()
+        raise_cycle = (int(issued.max()) + req
+                       + config.syncunit_irq_latency)
+        if raise_cycle == dispatch_done:
+            # Same-cycle IRQ-vs-WFI entry: ordering depends on queue
+            # internals, not on the algebra's inputs.
+            return None
+        latest = raise_cycle if raise_cycle > dispatch_done else dispatch_done
+        end = latest + config.host_wfi_wake_latency
+
+    last_signal = int(completion.max())
+    phases = {
+        "setup": int(prefix.dispatch_start - prefix.start_cycle),
+        "dispatch": int(dispatch_done - prefix.dispatch_start),
+        "completion_wait": int(end - dispatch_done),
+        "sync_overhead": int(end - last_signal),
+        "total": int(end - prefix.start_cycle),
+    }
+    point = SweepPoint(
+        kernel_name=kernel.name, n=n, num_clusters=m, variant=spec.name,
+        runtime_cycles=phases["total"], phases=phases)
+
+    def full(values: numpy.ndarray) -> typing.Tuple[
+            typing.Optional[int], ...]:
+        out: typing.List[typing.Optional[int]] = [None] * m
+        for slot, cid in enumerate(ids):
+            out[int(cid)] = int(values[slot])
+        return tuple(out)
+
+    return _Prediction(
+        point=point, end_cycle=int(end),
+        dma_in_done=full(din), compute_done=full(compute_done),
+        dma_out_done=full(dout),
+        completion_signalled=tuple(int(c) for c in completion))
+
+
+def matches_trace(prediction: _Prediction, trace: "OffloadTrace",
+                  measured: SweepPoint) -> bool:
+    """Whether a prediction reproduces a measured point exactly.
+
+    This is the per-group residual check: evaluated at the calibration
+    N, marker for marker.  Any drift between the algebra and the event
+    engine — a protocol change, a timing constant moved, an arbitration
+    order the proof missed — fails here and falls the group back, so
+    batched numbers can never silently diverge.
+    """
+    if prediction.point != measured:
+        return False
+    if prediction.end_cycle != trace.end_cycle:
+        return False
+    for cluster in trace.clusters:
+        cid = cluster.cluster_id
+        if prediction.dma_in_done[cid] != cluster.dma_in_done:
+            return False
+        if prediction.compute_done[cid] != cluster.compute_done:
+            return False
+        if prediction.dma_out_done[cid] != cluster.dma_out_done:
+            return False
+        if prediction.completion_signalled[cid] \
+                != cluster.completion_signalled:
+            return False
+    return True
+
+
+class BatchPlanner:
+    """Times groups of sweep points from single calibration simulations.
+
+    Built per :meth:`~repro.core.executor.SweepExecutor.run` call;
+    :meth:`consume` takes the executor's pending list and fills every
+    slot it can prove, returning what must still go through the event
+    engine.  Counters:
+
+    - ``planned_points`` — slots filled by closed-form prediction;
+    - ``calibration_points`` — event-engine simulations the planner ran
+      itself (their slots are filled with the *measured* result);
+    - ``fallback_points`` — pending points handed back to the event
+      engine (structural refusals, residual-check failures, ambiguous
+      completion schedules, groups too small to profit).
+    """
+
+    def __init__(self, pool: "SystemPool", reuse: bool = True) -> None:
+        self.pool = pool
+        self.reuse = reuse
+        self.planned_points = 0
+        self.calibration_points = 0
+        self.fallback_points = 0
+
+    def consume(self, config: SoCConfig, kernel_name: str, variant: str,
+                scalars: typing.Optional[typing.Mapping[str, float]],
+                seed: int, verify: bool,
+                pending: typing.Sequence[typing.Tuple[int, int, int]],
+                slots: typing.List[typing.Optional[SweepPoint]],
+                ) -> typing.List[typing.Tuple[int, int, int]]:
+        """Fill predictable ``slots`` entries; return the leftovers.
+
+        ``pending`` holds ``(slot_index, n, m)`` triples exactly as the
+        executor builds them; the returned list preserves their relative
+        order so the event engine visits leftovers in grid order.
+        """
+        from repro.core.staging import resolve_scalars
+
+        spec = resolve_spec(config, variant)
+        if spec is None:
+            self.fallback_points += len(pending)
+            return list(pending)
+        kernel = get_kernel(kernel_name)
+        resolved = resolve_scalars(kernel, scalars)
+
+        groups: typing.Dict[int, typing.List[
+            typing.Tuple[int, int, int]]] = {}
+        for entry in pending:
+            groups.setdefault(entry[2], []).append(entry)
+
+        remaining: typing.List[typing.Tuple[int, int, int]] = []
+        for m, members in groups.items():
+            provable = [entry for entry in members
+                        if point_provable(config, kernel, entry[1], m,
+                                          resolved)]
+            refused = [entry for entry in members if entry not in provable]
+            if len(provable) < 2:
+                # A lone provable point gains nothing from calibration.
+                self.fallback_points += len(members)
+                remaining.extend(members)
+                continue
+            self.fallback_points += len(refused)
+            remaining.extend(refused)
+            remaining.extend(self._plan_group(
+                config, kernel, spec, m, provable, variant, scalars,
+                seed, verify, slots))
+
+        order = {id(entry): rank for rank, entry in enumerate(pending)}
+        remaining.sort(key=lambda entry: order[id(entry)])
+        return remaining
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _calibrate(self, config: SoCConfig, kernel_name: str, n: int,
+                   m: int, variant: str,
+                   scalars: typing.Optional[typing.Mapping[str, float]],
+                   seed: int, verify: bool):
+        """One event-engine simulation, keeping the full trace."""
+        from repro.core.offload import offload
+        from repro.soc.manticore import ManticoreSystem
+
+        if self.reuse:
+            with self.pool.lease(config) as system:
+                result = offload(system, kernel_name, n, m,
+                                 scalars=scalars, variant=variant,
+                                 seed=seed, verify=verify)
+        else:
+            system = ManticoreSystem(config)
+            result = offload(system, kernel_name, n, m, scalars=scalars,
+                             variant=variant, seed=seed, verify=verify)
+        self.calibration_points += 1
+        return result
+
+    def _plan_group(self, config: SoCConfig, kernel: Kernel,
+                    spec: VariantSpec, m: int,
+                    members: typing.List[typing.Tuple[int, int, int]],
+                    variant: str,
+                    scalars: typing.Optional[typing.Mapping[str, float]],
+                    seed: int, verify: bool,
+                    slots: typing.List[typing.Optional[SweepPoint]],
+                    ) -> typing.List[typing.Tuple[int, int, int]]:
+        """Calibrate one member, predict the rest; return fallbacks."""
+        calibration = min(members, key=lambda entry: entry[0])
+        cal_index, cal_n, _m = calibration
+        result = self._calibrate(config, kernel.name, cal_n, m, variant,
+                                 scalars, seed, verify)
+        measured = SweepPoint(
+            kernel_name=kernel.name, n=cal_n, num_clusters=m,
+            variant=result.variant,
+            runtime_cycles=result.runtime_cycles,
+            phases=result.trace.phase_summary())
+        slots[cal_index] = measured
+        rest = [entry for entry in members if entry is not calibration]
+
+        prefix = (extract_prefix(config, result.trace, m)
+                  if result.variant == spec.name else None)
+        residual = (predict_point(config, kernel, spec, prefix, cal_n, m)
+                    if prefix is not None else None)
+        if residual is None or not matches_trace(residual, result.trace,
+                                                 measured):
+            self.fallback_points += len(rest)
+            return rest
+
+        fallbacks: typing.List[typing.Tuple[int, int, int]] = []
+        for entry in rest:
+            index, n, _m = entry
+            prediction = predict_point(config, kernel, spec, prefix, n, m)
+            if prediction is None:
+                self.fallback_points += 1
+                fallbacks.append(entry)
+                continue
+            slots[index] = prediction.point
+            self.planned_points += 1
+        return fallbacks

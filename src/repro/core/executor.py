@@ -33,8 +33,11 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import time
 import typing
 
+from repro import flags
+from repro.core.batch import BatchPlanner
 from repro.core.cache import SweepCache, point_key
 from repro.core.offload import offload
 from repro.core.sweep import SweepPoint, SweepResult
@@ -57,6 +60,27 @@ def resolve_jobs(jobs: int) -> int:
 #: keep one, so a chunk of same-config points constructs a single SoC
 #: (ProcessPoolExecutor workers never share module state).
 _SYSTEM_POOL = SystemPool()
+
+#: Opt-in log of per-run statistics summaries (see
+#: :func:`collect_run_stats`); experiments build executors internally,
+#: so the CLI's ``--stats`` flag observes them through this hook
+#: instead of threading a parameter through every experiment signature.
+_RUN_STATS_LOG: typing.List[typing.Dict[str, typing.Any]] = []
+_LOG_RUN_STATS = False
+
+
+def collect_run_stats(enabled: bool = True) -> None:
+    """Start (or stop) logging every ``SweepExecutor.run`` summary."""
+    global _LOG_RUN_STATS
+    _LOG_RUN_STATS = enabled
+    _RUN_STATS_LOG.clear()
+
+
+def drain_run_stats() -> typing.List[typing.Dict[str, typing.Any]]:
+    """Return and clear the collected run summaries."""
+    drained = list(_RUN_STATS_LOG)
+    _RUN_STATS_LOG.clear()
+    return drained
 
 
 def measure_point(config: SoCConfig, kernel_name: str, n: int, m: int,
@@ -119,7 +143,16 @@ class SweepExecutor:
 
     - ``cache_hits`` / ``cache_misses`` — cache outcomes this run;
     - ``simulated_points`` — simulations actually executed this run
-      (``0`` on a fully cached sweep).
+      (``0`` on a fully cached sweep), including the
+      :class:`~repro.core.batch.BatchPlanner`'s calibration runs;
+    - ``planned_points`` — points timed by the planner's closed form
+      instead of the event engine;
+    - ``batch_fallback_points`` — points the planner examined but
+      handed back to the event engine.
+
+    :meth:`run` also assembles :attr:`last_run_stats`, a flat summary
+    (throughput, cache/pool/planner outcomes, interpreter resume
+    counts) that the CLI's ``--stats`` flag prints after a sweep.
     """
 
     def __init__(self, jobs: int = 1,
@@ -137,6 +170,12 @@ class SweepExecutor:
         self.cache_hits = 0
         self.cache_misses = 0
         self.simulated_points = 0
+        self.planned_points = 0
+        self.batch_fallback_points = 0
+        #: Summary of the most recent :meth:`run` (see
+        #: :meth:`_collect_stats`); ``None`` before the first run.
+        self.last_run_stats: typing.Optional[
+            typing.Dict[str, typing.Any]] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -158,6 +197,12 @@ class SweepExecutor:
         self.cache_hits = 0
         self.cache_misses = 0
         self.simulated_points = 0
+        self.planned_points = 0
+        self.batch_fallback_points = 0
+        started = time.perf_counter()
+        pool_before = (_SYSTEM_POOL.hits, _SYSTEM_POOL.builds,
+                       _SYSTEM_POOL.restores, _SYSTEM_POOL.dropped,
+                       _SYSTEM_POOL.resume_count())
 
         # N-major grid order: the serial iteration order, and the order
         # of the returned points regardless of execution interleaving.
@@ -192,18 +237,73 @@ class SweepExecutor:
 
         emit_ready()
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                self._run_serial(pending, slots, config, kernel_name,
-                                 variant, scalars, seed, verify, emit_ready)
+            # The batch planner fills every slot it can prove from
+            # calibration runs; only the leftovers pay the event engine.
+            # The *original* pending list still drives the cache
+            # put-back below, so planned points are cached exactly like
+            # simulated ones.
+            remaining: typing.Sequence[typing.Tuple[int, int, int]]
+            if flags.naive_batch():
+                remaining = pending
             else:
-                self._run_parallel(pending, slots, config, kernel_name,
-                                   variant, scalars, seed, verify, emit_ready)
+                planner = BatchPlanner(_SYSTEM_POOL, reuse=self.reuse)
+                remaining = planner.consume(
+                    config, kernel_name, variant, scalars, seed, verify,
+                    pending, slots)
+                self.simulated_points += planner.calibration_points
+                self.planned_points = planner.planned_points
+                self.batch_fallback_points = planner.fallback_points
+                emit_ready()
+            if remaining:
+                if self.jobs == 1 or len(remaining) == 1:
+                    self._run_serial(remaining, slots, config, kernel_name,
+                                     variant, scalars, seed, verify,
+                                     emit_ready)
+                else:
+                    self._run_parallel(remaining, slots, config, kernel_name,
+                                       variant, scalars, seed, verify,
+                                       emit_ready)
             if self.cache is not None:
                 for index, _n, _m in pending:
                     self.cache.put(keys[index], slots[index])
 
+        self.last_run_stats = self._collect_stats(
+            len(coords), time.perf_counter() - started, pool_before)
+        if _LOG_RUN_STATS:
+            _RUN_STATS_LOG.append(self.last_run_stats)
         points = typing.cast(typing.List[SweepPoint], slots)
         return SweepResult(points=tuple(points))
+
+    def _collect_stats(self, total_points: int, elapsed: float,
+                       pool_before: typing.Tuple[int, int, int, int, int]
+                       ) -> typing.Dict[str, typing.Any]:
+        """Summarize one :meth:`run` for the ``--stats`` reporting path.
+
+        Pool and resume figures are deltas over the in-process
+        :data:`_SYSTEM_POOL`, so they cover serial runs fully and only
+        the parent's share of a multi-process fan-out (worker pools
+        live in their own processes).
+        """
+        hits0, builds0, restores0, dropped0, resumes0 = pool_before
+        predictable = self.planned_points + self.batch_fallback_points
+        return {
+            "points": total_points,
+            "elapsed_seconds": elapsed,
+            "points_per_second": (total_points / elapsed if elapsed > 0
+                                  else float("inf")),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulated_points": self.simulated_points,
+            "planned_points": self.planned_points,
+            "batch_fallback_points": self.batch_fallback_points,
+            "batch_plan_hit_rate": (self.planned_points / predictable
+                                    if predictable else 0.0),
+            "pool_hits": _SYSTEM_POOL.hits - hits0,
+            "pool_builds": _SYSTEM_POOL.builds - builds0,
+            "pool_restores": _SYSTEM_POOL.restores - restores0,
+            "pool_dropped": _SYSTEM_POOL.dropped - dropped0,
+            "sim_resumes": _SYSTEM_POOL.resume_count() - resumes0,
+        }
 
     # ------------------------------------------------------------------
     # Execution strategies

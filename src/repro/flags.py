@@ -21,6 +21,10 @@ variable                  effect
 ``REPRO_NAIVE_SNAPSHOT``  system pools recycle instances through the
                           full ``reset()`` component walk instead of
                           restoring the captured boot snapshot
+``REPRO_NAIVE_BATCH``     sweeps simulate every grid point through the
+                          event engine instead of batching
+                          contention-free points through the vectorized
+                          ``BatchPlanner`` timing model
 ``REPRO_LINEAR_ROUTING``  address maps fall back to the unsorted
                           linear region scan (pre-bisect routing);
                           sampled at map construction time
@@ -75,6 +79,13 @@ NAIVE_BARRIER_ENV = "REPRO_NAIVE_BARRIER"
 #: restoring a captured boot snapshot.
 NAIVE_SNAPSHOT_ENV = "REPRO_NAIVE_SNAPSHOT"
 
+#: Environment variable: when set (non-empty), ``SweepExecutor`` runs
+#: every grid point through the full event engine instead of letting
+#: the ``BatchPlanner`` time contention-free points as vectorized
+#: NumPy array arithmetic seeded from calibration runs.  Used by the
+#: A/B property tests proving batched timing is bit-identical.
+NAIVE_BATCH_ENV = "REPRO_NAIVE_BATCH"
+
 #: Environment variable: when set (non-empty) at map construction time,
 #: ``region_at`` falls back to the unsorted linear scan (and port
 #: routers bypass their hit slots).  Routing is functional, so this is
@@ -98,8 +109,8 @@ STRICT_ENV = "REPRO_STRICT"
 #: Every gate this module owns, for introspection and for benchmarks
 #: that must run with a known-clean environment.
 ALL_GATES = (NAIVE_POLL_ENV, NAIVE_CHANNEL_ENV, NAIVE_BARRIER_ENV,
-             NAIVE_SNAPSHOT_ENV, LINEAR_ROUTING_ENV, FRESH_SYSTEMS_ENV,
-             CACHE_DIR_ENV, STRICT_ENV)
+             NAIVE_SNAPSHOT_ENV, NAIVE_BATCH_ENV, LINEAR_ROUTING_ENV,
+             FRESH_SYSTEMS_ENV, CACHE_DIR_ENV, STRICT_ENV)
 
 
 def _enabled(name: str) -> bool:
@@ -124,6 +135,11 @@ def naive_barrier() -> bool:
 def naive_snapshot() -> bool:
     """Whether ``REPRO_NAIVE_SNAPSHOT`` forces full pool resets."""
     return _enabled(NAIVE_SNAPSHOT_ENV)
+
+
+def naive_batch() -> bool:
+    """Whether ``REPRO_NAIVE_BATCH`` disables batched sweep timing."""
+    return _enabled(NAIVE_BATCH_ENV)
 
 
 def linear_routing() -> bool:

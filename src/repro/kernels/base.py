@@ -125,6 +125,23 @@ class KernelTiming:
             return 0
         return self.setup_cycles + math.ceil(self.cpe_num * elements / self.cpe_den)
 
+    def cycles_array(self, elements) -> "numpy.ndarray":
+        """Vectorized :meth:`cycles` over an array of element counts.
+
+        Pure ``int64`` arithmetic — ``ceil(num·e / den)`` computed as
+        ``(num·e + den − 1) // den`` — so every entry is bit-identical
+        to the scalar path for any element count a simulation can
+        reach (the scalar form's float division is exactly rounded far
+        beyond calibrated rates times any in-memory problem size).
+        """
+        counts = numpy.asarray(elements, dtype=numpy.int64)
+        if counts.size and int(counts.min()) < 0:
+            raise KernelError(
+                f"negative element count: {int(counts.min())}")
+        cycles = self.setup_cycles + (
+            (self.cpe_num * counts + self.cpe_den - 1) // self.cpe_den)
+        return numpy.where(counts == 0, 0, cycles)
+
 
 class Kernel(abc.ABC):
     """Abstract base for offloadable kernels; see the module docstring."""
@@ -261,6 +278,22 @@ class Kernel(abc.ABC):
     def compute_cycles(self, elements: int, n: int) -> int:
         """Per-core compute time for ``elements`` work items."""
         return self.timing.cycles(elements)
+
+    def compute_cycles_array(self, elements, n: int) -> numpy.ndarray:
+        """Vectorized :meth:`compute_cycles` over element-count arrays.
+
+        The batched timing paths charge whole compute phases (and whole
+        sweep segments) from this in one array operation.  When a
+        subclass overrides :meth:`compute_cycles` without overriding
+        this method, the default falls back to per-element scalar calls
+        so bit-identity with the event path is preserved regardless.
+        """
+        if type(self).compute_cycles is Kernel.compute_cycles:
+            return self.timing.cycles_array(elements)
+        return numpy.array(
+            [self.compute_cycles(int(count), n)
+             for count in numpy.asarray(elements).ravel()],
+            dtype=numpy.int64)
 
     def host_compute_cycles(self, n: int) -> int:
         """Time for the host core to run the whole job itself.

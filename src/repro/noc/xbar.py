@@ -25,6 +25,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+import numpy
+
 from repro.errors import ConfigError
 from repro.mem.map import AddressMap, MmioDevice
 from repro.noc.packet import Transaction, TransactionKind
@@ -422,18 +424,22 @@ class Interconnect:
         now = sim.now
         occupancy = params.store_occupancy
         start = max(now, self.host_port.next_free)
-        append = self.transactions.append
-        count = 0
-        for base, words in blocks:
-            for index, word in enumerate(words):
-                # The reference loop logs each store at its call cycle:
-                # the first at ``now``, each later one when its
-                # predecessor's ``issued`` event released the host.
-                append(Transaction(
-                    TransactionKind.WRITE, "host", (base + 8 * index,),
-                    word, False,
-                    now if count == 0 else start + count * occupancy))
-                count += 1
+        count = sum(len(words) for _base, words in blocks)
+        # The reference loop logs each store at its call cycle: the
+        # first at ``now``, each later one when its predecessor's
+        # ``issued`` event released the host — an arithmetic
+        # progression, charged as one vectorized int64 pass.
+        issues = (start
+                  + occupancy * numpy.arange(count, dtype=numpy.int64))
+        if count:
+            issues[0] = now
+        issue_list = iter(issues.tolist())
+        self.transactions.extend(
+            Transaction(TransactionKind.WRITE, "host",
+                        (base + 8 * index,), word, False, issued_at)
+            for base, words in blocks
+            for (index, word), issued_at in zip(enumerate(words),
+                                                issue_list))
         for target, (base, words) in zip(targets, blocks):
             target.write_words(base, words)
         finish = start + count * occupancy
@@ -462,12 +468,17 @@ class Interconnect:
         timestamps, and port accounting are identical.
         """
         occupancy = self.params.load_occupancy
-        append = self.transactions.append
-        for k in range(count):
-            append(Transaction(
-                kind=TransactionKind.READ, source="host", addresses=(addr,),
-                value=None, posted=False, issued_at=first_issue + k * period,
-            ))
+        # One vectorized pass over the whole poll segment: the issue
+        # schedule is an arithmetic progression, so the per-read
+        # multiply-adds collapse into a single int64 array op (the
+        # logged records are identical, entry for entry).
+        issues = (first_issue
+                  + period * numpy.arange(count, dtype=numpy.int64)).tolist()
+        target = (addr,)
+        self.transactions.extend(
+            Transaction(TransactionKind.READ, "host", target, None, False,
+                        issued_at)
+            for issued_at in issues)
         self.host_port.charge_bulk(
             requests=count, busy_cycles=count * occupancy,
             next_free=first_issue + (count - 1) * period + occupancy)

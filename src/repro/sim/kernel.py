@@ -53,6 +53,12 @@ class Simulator:
         self._sequence = 0
         self._running = False
         self._spawned = 0
+        #: Total process-body resumptions (generator ``send`` calls).
+        #: Monotonic diagnostics counter — the interpreter cost of a run
+        #: is dominated by these, so sweep statistics and the profiling
+        #: helper report it; deliberately *not* part of snapshot/reset
+        #: state (it measures host work, not simulated state).
+        self.resumes = 0
         #: Live (unfinished) processes; parked DM cores stay here for
         #: the lifetime of the system, which is exactly what deadlock
         #: reports need to enumerate.

@@ -64,6 +64,7 @@ class Process(Event):
         per-yield hot path.  The wake-up argument is always either
         ``None`` (delay expiry) or the :class:`Event` that fired.
         """
+        self.sim.resumes += 1
         try:
             target = self._send(None if event is None else event._value)
         except StopIteration as stop:

@@ -165,6 +165,18 @@ class SystemPool:
         self._idle.clear()
         self._boot_snapshots.clear()
 
+    def resume_count(self) -> int:
+        """Total process-body resumptions across idle instances.
+
+        :attr:`~repro.sim.Simulator.resumes` is monotonic and survives
+        reset/restore, so sweep statistics difference this across a run
+        to report how much interpreter work the event engine did
+        (instances leased out at call time are not visible; call
+        between runs).
+        """
+        return sum(system.sim.resumes
+                   for queue in self._idle.values() for system in queue)
+
     @property
     def idle_count(self) -> int:
         """Total idle instances currently retained."""

@@ -82,7 +82,10 @@ def test_second_identical_sweep_simulates_nothing():
     first = run(executor)
     assert executor.cache_hits == 0
     assert executor.cache_misses == len(first)
-    assert executor.simulated_points == len(first)
+    # Every point was measured this run: calibrations through the
+    # event engine plus batch-planned predictions.
+    assert executor.simulated_points + executor.planned_points \
+        == len(first)
     second = run(executor)
     assert second == first
     assert executor.cache_hits == len(first)
@@ -106,7 +109,8 @@ def test_config_change_misses():
     retuned.run(SoCConfig.extended(num_clusters=8, noc_store_occupancy=4),
                 "daxpy", N_VALUES, M_VALUES)
     assert retuned.cache_hits == 0
-    assert retuned.simulated_points == len(N_VALUES) * len(M_VALUES)
+    assert retuned.simulated_points + retuned.planned_points \
+        == len(N_VALUES) * len(M_VALUES)
 
 
 @pytest.mark.parametrize("kwargs", [
@@ -168,7 +172,8 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path):
     recovered = SweepExecutor(cache=SweepCache(directory))
     result = run(recovered)
     assert recovered.cache_hits == 0
-    assert recovered.simulated_points == len(result)
+    assert recovered.simulated_points + recovered.planned_points \
+        == len(result)
 
 
 def test_stale_schema_is_a_miss(tmp_path):
@@ -214,5 +219,6 @@ def test_malformed_cache_record_is_a_warned_miss(tmp_path, mutate):
     with pytest.warns(IntegrityWarning, match="malformed cache record"):
         result = run(recovered)
     assert recovered.cache_hits == 0
-    assert recovered.simulated_points == len(result)
+    assert recovered.simulated_points + recovered.planned_points \
+        == len(result)
     assert result == first   # re-measured, not silently wrong

@@ -10,6 +10,7 @@ from repro import flags
     (flags.naive_channel, flags.NAIVE_CHANNEL_ENV),
     (flags.naive_barrier, flags.NAIVE_BARRIER_ENV),
     (flags.naive_snapshot, flags.NAIVE_SNAPSHOT_ENV),
+    (flags.naive_batch, flags.NAIVE_BATCH_ENV),
     (flags.linear_routing, flags.LINEAR_ROUTING_ENV),
     (flags.fresh_systems, flags.FRESH_SYSTEMS_ENV),
     (flags.strict, flags.STRICT_ENV),
@@ -39,7 +40,8 @@ def test_all_gates_is_complete():
     assert set(flags.ALL_GATES) == {
         flags.NAIVE_POLL_ENV, flags.NAIVE_CHANNEL_ENV,
         flags.NAIVE_BARRIER_ENV, flags.NAIVE_SNAPSHOT_ENV,
-        flags.LINEAR_ROUTING_ENV, flags.FRESH_SYSTEMS_ENV,
+        flags.NAIVE_BATCH_ENV, flags.LINEAR_ROUTING_ENV,
+        flags.FRESH_SYSTEMS_ENV,
         flags.CACHE_DIR_ENV, flags.STRICT_ENV}
 
 
