@@ -5,10 +5,12 @@ sweep machinery measures, with every throughput mechanism — bisect +
 hit-cache routing, pooled SoC reuse with copy-on-write boot snapshots,
 virtualized host polling, bulk channel timing, closed-form
 barrier/compute-phase crossings, and the batch planner that times most
-grid points as array arithmetic seeded from one calibration run per
-group — toggled on and off via the A/B environment gates.  The toggles exist precisely because the mechanisms
-are required to be bit-identical in measured cycles — this module
-asserts that identity on the full grid while timing both sides.
+grid points as array arithmetic seeded from a handful of calibration
+runs (the M axis itself predicted via affine prefix models) — toggled
+on and off via the A/B environment gates.  The toggles exist precisely
+because the mechanisms are required to be bit-identical in measured
+cycles — this module asserts that identity on the full grid while
+timing both sides.
 
 Snapshot with::
 
@@ -26,6 +28,7 @@ from repro.flags import (
     NAIVE_BARRIER_ENV,
     NAIVE_BATCH_ENV,
     NAIVE_CHANNEL_ENV,
+    NAIVE_MPREDICT_ENV,
     NAIVE_SNAPSHOT_ENV,
 )
 from repro.mem.map import LINEAR_ROUTING_ENV
@@ -41,7 +44,7 @@ VARIANTS = ["baseline", "extended"]
 
 _ALL_GATES = (NAIVE_POLL_ENV, FRESH_SYSTEMS_ENV, LINEAR_ROUTING_ENV,
               NAIVE_CHANNEL_ENV, NAIVE_BARRIER_ENV, NAIVE_SNAPSHOT_ENV,
-              NAIVE_BATCH_ENV)
+              NAIVE_BATCH_ENV, NAIVE_MPREDICT_ENV)
 
 
 @contextlib.contextmanager
@@ -145,11 +148,11 @@ def test_batch_planner_is_bit_identical_and_faster(benchmark):
 
     ``REPRO_NAIVE_BATCH`` alone is toggled, so both sides enjoy pooled
     systems, snapshot restores and bulk timing — the measured ratio is
-    the planner's own contribution on the acceptance grid (one
-    calibration simulation per (variant, M) group, the other two
-    problem sizes predicted closed-form).  Interleaved min-of-N as
-    above; bit-identity of the full point stream is the hard gate, the
-    speedup floor stays loose for loaded CI runners.
+    the planner's full contribution on the acceptance grid, affine
+    M-axis prefix prediction included (a handful of anchor calibrations
+    per variant, everything else timed closed-form).  Interleaved
+    min-of-N as above; bit-identity of the full point stream is the
+    hard gate, the speedup floor stays loose for loaded CI runners.
     """
     rounds = 5
     event_times = []
@@ -181,3 +184,49 @@ def test_batch_planner_is_bit_identical_and_faster(benchmark):
     assert speedup > 1.3, (
         f"batch planner only {speedup:.2f}x faster than the event "
         "engine; expected ~2x")
+
+
+def test_mpredict_layer_is_bit_identical_and_faster(benchmark):
+    """Isolate the affine M-axis prediction layer (batch layer 3).
+
+    ``REPRO_NAIVE_MPREDICT`` alone is toggled, so *both* sides run the
+    batch planner with every other mechanism on — the measured ratio is
+    what predicting dispatch prefixes as affine functions of M buys
+    over PR 7's one-calibration-per-(variant, M) rule on the acceptance
+    grid (64 calibration simulations a pass vs ~7: three anchors per
+    variant plus multicast's off-domain M = 1 group).  No persistent
+    store is involved (``sweep`` runs uncached here), so this is the
+    cold-run figure.  Interleaved min-of-N; bit-identity of the full
+    point stream is the hard gate, the speedup floor stays loose for
+    loaded CI runners.
+    """
+    rounds = 5
+    calibrated_times = []
+    predicted_times = []
+    calibrated_points = predicted_points = None
+    for index in range(rounds):
+        with _gates(enabled=True, names=(NAIVE_MPREDICT_ENV,)):
+            gc.collect()
+            start = time.perf_counter()
+            if index == 0:
+                calibrated_points = benchmark.pedantic(
+                    _run_grid, args=(True,), rounds=1, iterations=1)
+            else:
+                calibrated_points = _run_grid(True)
+            calibrated_times.append(time.perf_counter() - start)
+        with _gates(enabled=False):
+            gc.collect()
+            start = time.perf_counter()
+            predicted_points = _run_grid(True)
+            predicted_times.append(time.perf_counter() - start)
+        assert predicted_points == calibrated_points
+
+    speedup = min(calibrated_times) / min(predicted_times)
+    benchmark.extra_info["calibrated_points_per_sec"] = round(
+        len(calibrated_points) / min(calibrated_times), 1)
+    benchmark.extra_info["predicted_points_per_sec"] = round(
+        len(predicted_points) / min(predicted_times), 1)
+    benchmark.extra_info["mpredict_speedup"] = round(speedup, 2)
+    assert speedup > 1.1, (
+        f"M-axis prefix prediction only {speedup:.2f}x faster than "
+        "per-group calibration; expected a measurable win")

@@ -263,6 +263,13 @@ def _print_run_stats(out: typing.TextIO) -> None:
         f"{total['simulated_points']} simulated, "
         f"{total['batch_fallback_points']} fallbacks "
         f"(hit rate {hit_rate:.1f}%)\n"
+        f"  m-predict   {total['prefixes_predicted']} prefixes predicted, "
+        f"{total['prefixes_calibrated']} calibrated, "
+        f"{total['mmodels_fitted']} models fitted, "
+        f"{total['holdout_fallbacks']} holdout fallbacks\n"
+        f"  calib store {total['calibration_store_hits']} hits, "
+        f"{total['calibration_store_misses']} misses, "
+        f"{total['cache_evictions']} disk evictions\n"
         f"  pool        {total['pool_hits']} reused "
         f"({total['pool_restores']} snapshot restores), "
         f"{total['pool_builds']} built, {total['pool_dropped']} dropped\n"

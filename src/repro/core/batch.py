@@ -30,6 +30,40 @@ engine, a property the planner *proves* per group before using it:
 suite (``tests/property/test_batch_identity.py``) asserts both paths
 return equal :class:`~repro.core.sweep.SweepPoint` streams.
 
+The M axis: affine prefix prediction
+------------------------------------
+One calibration per (variant, M) group still leaves the M axis paying
+one full event simulation per offload width — on a Fig.-1 shaped grid
+(one N, M = 1..32) that is *every* point.  But the prefix itself is
+structured: the paper's runtime model (Eq. 1) treats dispatch cost as
+affine in the cluster count, and the two shipped dispatch strategies
+declare exactly where that holds
+(:attr:`~repro.runtime.strategies.DispatchStrategy
+.affine_dispatch_min_m`: sequential stores from M = 1, multicast from
+M = 2 — its single-cluster case is a plain store off the line).  So
+instead of calibrating every M group, the planner event-simulates
+**two anchor** M values, fits each prefix field as an integer-affine
+function of M (non-integer slope → refuse), verifies the fitted line
+*residual-exactly* against a third held-out M — a full
+marker-for-marker :func:`matches_trace` check, not just the prefix —
+and synthesizes the prefix for every other M in the anchor span
+closed-form.  Any failure (anchor residual, non-affine fit, holdout
+mismatch) falls that sweep back to per-group calibration; M values
+outside the fitted span or below the declared domain are calibrated
+per group as before.  ``REPRO_NAIVE_MPREDICT`` restores the
+one-calibration-per-group path bit-for-bit.
+
+The calibration store
+---------------------
+Prefixes and fitted M-models are pure functions of
+(config digest, kernel, resolved variant, scalars, seed) — N never
+enters — so :class:`~repro.core.cache.SweepCache` content-addresses
+them persistently (:func:`~repro.core.cache.calibration_key`, schema
+versioned).  A warm store lets a sweep over *new* problem sizes skip
+calibration entirely and go straight to array algebra: the planner
+stores every residual-validated per-M prefix and every
+holdout-validated M-model, and consults the store before simulating.
+
 Why the tail is a closed form
 -----------------------------
 All M clusters resume from the start fabric barrier on the same cycle
@@ -52,6 +86,8 @@ import typing
 
 import numpy
 
+from repro import flags
+from repro.core.cache import calibration_key
 from repro.core.sweep import SweepPoint
 from repro.errors import KernelError, OffloadError
 from repro.kernels.base import Kernel, split_range
@@ -68,6 +104,7 @@ from repro.runtime.strategies import (
 from repro.soc.config import SoCConfig
 
 if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.cache import SweepCache
     from repro.runtime.trace import OffloadTrace
     from repro.soc.pool import SystemPool
 
@@ -98,6 +135,139 @@ class _Prefix:
     dispatch_start: int
     dispatch_done: int
     release_cycle: int
+
+    def fields(self) -> typing.Tuple[int, int, int, int]:
+        """The prefix as an ordered tuple (the M-model's field order)."""
+        return (self.start_cycle, self.dispatch_start,
+                self.dispatch_done, self.release_cycle)
+
+
+@dataclasses.dataclass(frozen=True)
+class MPrefixModel:
+    """Affine-in-M model of one (config, kernel, variant)'s prefix.
+
+    Each :class:`_Prefix` field is ``base[i] + slope[i] * (m - m_lo)``
+    with integer slopes — the fit refuses anything else, because
+    event-engine cycles are integers and a fractional slope means the
+    claimed affinity is simply false.  The model only speaks for
+    ``max(min_m, m_lo) <= m <= m_hi``: ``min_m`` is the strategy's
+    declared affine domain and ``[m_lo, m_hi]`` the anchor span, so
+    every synthesized prefix is an *interpolation* between
+    residual-checked calibrations, never an extrapolation past them.
+    """
+
+    min_m: int
+    m_lo: int
+    m_hi: int
+    base: typing.Tuple[int, int, int, int]
+    slope: typing.Tuple[int, int, int, int]
+
+    def predict(self, m: int) -> typing.Optional[_Prefix]:
+        """The synthesized prefix at ``m``, or ``None`` outside range."""
+        if m < self.min_m or m < self.m_lo or m > self.m_hi:
+            return None
+        delta = m - self.m_lo
+        start, dispatch_start, dispatch_done, release = (
+            b + s * delta for b, s in zip(self.base, self.slope))
+        return _Prefix(start_cycle=start, dispatch_start=dispatch_start,
+                       dispatch_done=dispatch_done, release_cycle=release)
+
+
+def fit_prefix_model(min_m: int, m_lo: int, prefix_lo: _Prefix,
+                     m_hi: int,
+                     prefix_hi: _Prefix) -> typing.Optional[MPrefixModel]:
+    """Fit the affine M-model through two anchor prefixes.
+
+    ``None`` when the anchors coincide or any field's slope is not an
+    exact integer — a fractional slope cannot reproduce integer cycle
+    counts, so the affinity claim is already refuted by the anchors
+    themselves.  A successful fit is *necessary, not sufficient*:
+    callers must still verify the model residual-exactly against a
+    held-out third M before trusting it.
+    """
+    if m_lo >= m_hi:
+        return None
+    span = m_hi - m_lo
+    lo = prefix_lo.fields()
+    hi = prefix_hi.fields()
+    slopes = []
+    for value_lo, value_hi in zip(lo, hi):
+        diff = value_hi - value_lo
+        if diff % span:
+            return None
+        slopes.append(diff // span)
+    return MPrefixModel(min_m=min_m, m_lo=m_lo, m_hi=m_hi,
+                        base=lo, slope=tuple(slopes))
+
+
+def affine_domain(spec: VariantSpec) -> typing.Optional[int]:
+    """The M floor from which ``spec``'s prefix is declared affine.
+
+    ``None`` unless *both* sides declare: the dispatch strategy an
+    affine doorbell schedule (with its domain floor) and the completion
+    strategy an M-independent arming fragment.  The declarations ride
+    on the exact strategy types :func:`resolve_spec` already enforces,
+    so a subclass overriding timing never reaches this layer.
+    """
+    floor = type(spec.dispatch).affine_dispatch_min_m
+    if floor is None or not type(spec.completion).prefix_affine_in_m:
+        return None
+    return floor
+
+
+# ----------------------------------------------------------------------
+# Calibration-store payloads
+# ----------------------------------------------------------------------
+_PREFIX_KEYS = ("start_cycle", "dispatch_start", "dispatch_done",
+                "release_cycle")
+
+
+def encode_prefix(prefix: _Prefix) -> typing.Dict[str, int]:
+    """JSON payload of one validated per-M dispatch prefix."""
+    return dict(zip(_PREFIX_KEYS, prefix.fields()))
+
+
+def decode_prefix(payload: typing.Optional[typing.Mapping[str, typing.Any]]
+                  ) -> typing.Optional[_Prefix]:
+    """Rebuild a stored prefix; ``None`` on any shape/type mismatch."""
+    if payload is None:
+        return None
+    values = [payload.get(key) for key in _PREFIX_KEYS]
+    if any(not isinstance(v, int) or isinstance(v, bool) for v in values):
+        return None
+    return _Prefix(*values)
+
+
+def encode_mmodel(model: MPrefixModel) -> typing.Dict[str, typing.Any]:
+    """JSON payload of one holdout-validated affine M-model."""
+    return {"min_m": model.min_m, "m_lo": model.m_lo, "m_hi": model.m_hi,
+            "base": list(model.base), "slope": list(model.slope)}
+
+
+def decode_mmodel(payload: typing.Optional[
+        typing.Mapping[str, typing.Any]]) -> typing.Optional[MPrefixModel]:
+    """Rebuild a stored M-model; ``None`` on any shape/type mismatch."""
+    if payload is None:
+        return None
+
+    def ints(value: typing.Any, count: int) -> typing.Optional[
+            typing.Tuple[int, ...]]:
+        if (not isinstance(value, (list, tuple)) or len(value) != count
+                or any(not isinstance(v, int) or isinstance(v, bool)
+                       for v in value)):
+            return None
+        return tuple(value)
+
+    scalars = ints([payload.get("min_m"), payload.get("m_lo"),
+                    payload.get("m_hi")], 3)
+    base = ints(payload.get("base"), 4)
+    slope = ints(payload.get("slope"), 4)
+    if scalars is None or base is None or slope is None:
+        return None
+    if scalars[1] >= scalars[2]:
+        return None
+    return MPrefixModel(min_m=scalars[0], m_lo=scalars[1],
+                        m_hi=scalars[2], base=base, slope=slope)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -365,15 +535,34 @@ class BatchPlanner:
       itself (their slots are filled with the *measured* result);
     - ``fallback_points`` — pending points handed back to the event
       engine (structural refusals, residual-check failures, ambiguous
-      completion schedules, groups too small to profit).
+      completion schedules, groups too small to profit);
+    - ``prefixes_calibrated`` / ``prefixes_predicted`` — M groups whose
+      prefix came from a calibration simulation vs. from the affine
+      M-model or the calibration store (no simulation at all);
+    - ``mmodels_fitted`` — affine M-models fitted *and* holdout-
+      validated this run;
+    - ``holdout_fallbacks`` — M-model fit attempts abandoned (anchor
+      residual failure, non-integer slope, or holdout mismatch), each
+      falling the affected groups back to per-group calibration;
+    - ``store_hits`` / ``store_misses`` — calibration-store lookups
+      (per-M prefixes and M-models) against the executor's
+      :class:`~repro.core.cache.SweepCache`.
     """
 
-    def __init__(self, pool: "SystemPool", reuse: bool = True) -> None:
+    def __init__(self, pool: "SystemPool", reuse: bool = True,
+                 cache: typing.Optional["SweepCache"] = None) -> None:
         self.pool = pool
         self.reuse = reuse
+        self.cache = cache
         self.planned_points = 0
         self.calibration_points = 0
         self.fallback_points = 0
+        self.prefixes_calibrated = 0
+        self.prefixes_predicted = 0
+        self.mmodels_fitted = 0
+        self.holdout_fallbacks = 0
+        self.store_hits = 0
+        self.store_misses = 0
 
     def consume(self, config: SoCConfig, kernel_name: str, variant: str,
                 scalars: typing.Optional[typing.Mapping[str, float]],
@@ -386,6 +575,13 @@ class BatchPlanner:
         ``pending`` holds ``(slot_index, n, m)`` triples exactly as the
         executor builds them; the returned list preserves their relative
         order so the event engine visits leftovers in grid order.
+
+        Per M group the prefix comes from the cheapest trustworthy
+        source: a stored per-M prefix (no simulation), a stored or
+        freshly fitted-and-holdout-checked affine M-model (no
+        simulation), or a calibration simulation (the PR-7 path, which
+        also residual-checks the tail algebra and feeds the store).
+        ``REPRO_NAIVE_MPREDICT`` pins every group to the last source.
         """
         from repro.core.staging import resolve_scalars
 
@@ -395,6 +591,7 @@ class BatchPlanner:
             return list(pending)
         kernel = get_kernel(kernel_name)
         resolved = resolve_scalars(kernel, scalars)
+        mpredict = not flags.naive_mpredict()
 
         groups: typing.Dict[int, typing.List[
             typing.Tuple[int, int, int]]] = {}
@@ -402,21 +599,61 @@ class BatchPlanner:
             groups.setdefault(entry[2], []).append(entry)
 
         remaining: typing.List[typing.Tuple[int, int, int]] = []
+        provable_by_m: typing.Dict[int, typing.List[
+            typing.Tuple[int, int, int]]] = {}
         for m, members in groups.items():
             provable = [entry for entry in members
                         if point_provable(config, kernel, entry[1], m,
                                           resolved)]
             refused = [entry for entry in members if entry not in provable]
-            if len(provable) < 2:
-                # A lone provable point gains nothing from calibration.
-                self.fallback_points += len(members)
-                remaining.extend(members)
-                continue
             self.fallback_points += len(refused)
             remaining.extend(refused)
-            remaining.extend(self._plan_group(
+            if provable:
+                provable_by_m[m] = provable
+
+        # The store speaks the *resolved* variant and scalars, so
+        # "auto" and the explicit name (or default and explicit
+        # scalars) share calibration entries.
+        store_coords = (config, kernel.name, spec.name, resolved, seed)
+        prefixes: typing.Dict[int, _Prefix] = {}
+        model: typing.Optional[MPrefixModel] = None
+        handled: typing.Set[int] = set()
+        if mpredict:
+            for m in provable_by_m:
+                stored = self._load_prefix(store_coords, m)
+                if stored is not None:
+                    prefixes[m] = stored
+            model = self._load_model(store_coords)
+            if model is None:
+                model = self._fit_model(
+                    config, kernel, spec, store_coords, provable_by_m,
+                    prefixes, handled, variant, scalars, seed, verify,
+                    slots, remaining)
+
+        for m, provable in provable_by_m.items():
+            if m in handled:
+                continue
+            prefix = prefixes.get(m)
+            if prefix is None and model is not None:
+                prefix = model.predict(m)
+            if mpredict and prefix is not None:
+                self.prefixes_predicted += 1
+                remaining.extend(self._predict_group(
+                    config, kernel, spec, prefix, m, provable, slots))
+                continue
+            if len(provable) < 2:
+                # A lone provable point gains nothing from calibrating
+                # itself (and no trusted prefix reached us).
+                self.fallback_points += len(provable)
+                remaining.extend(provable)
+                continue
+            fallbacks, validated = self._plan_group(
                 config, kernel, spec, m, provable, variant, scalars,
-                seed, verify, slots))
+                seed, verify, slots)
+            remaining.extend(fallbacks)
+            self.prefixes_calibrated += 1
+            if mpredict and validated is not None:
+                self._store_prefix(store_coords, m, validated)
 
         order = {id(entry): rank for rank, entry in enumerate(pending)}
         remaining.sort(key=lambda entry: order[id(entry)])
@@ -452,8 +689,16 @@ class BatchPlanner:
                     scalars: typing.Optional[typing.Mapping[str, float]],
                     seed: int, verify: bool,
                     slots: typing.List[typing.Optional[SweepPoint]],
-                    ) -> typing.List[typing.Tuple[int, int, int]]:
-        """Calibrate one member, predict the rest; return fallbacks."""
+                    ) -> typing.Tuple[
+                        typing.List[typing.Tuple[int, int, int]],
+                        typing.Optional[_Prefix]]:
+        """Calibrate one member, predict the rest.
+
+        Returns ``(fallbacks, prefix)`` where ``prefix`` is the
+        calibration's extracted prefix *only* when the residual check
+        passed — i.e. exactly when it is safe to reuse as an M-model
+        anchor or a calibration-store entry.
+        """
         calibration = min(members, key=lambda entry: entry[0])
         cal_index, cal_n, _m = calibration
         result = self._calibrate(config, kernel.name, cal_n, m, variant,
@@ -473,7 +718,7 @@ class BatchPlanner:
         if residual is None or not matches_trace(residual, result.trace,
                                                  measured):
             self.fallback_points += len(rest)
-            return rest
+            return rest, None
 
         fallbacks: typing.List[typing.Tuple[int, int, int]] = []
         for entry in rest:
@@ -485,4 +730,141 @@ class BatchPlanner:
                 continue
             slots[index] = prediction.point
             self.planned_points += 1
+        return fallbacks, prefix
+
+    def _predict_group(self, config: SoCConfig, kernel: Kernel,
+                       spec: VariantSpec, prefix: _Prefix, m: int,
+                       members: typing.List[typing.Tuple[int, int, int]],
+                       slots: typing.List[typing.Optional[SweepPoint]],
+                       ) -> typing.List[typing.Tuple[int, int, int]]:
+        """Predict a whole M group from a trusted prefix — no simulation.
+
+        The prefix arrived from the calibration store or the affine
+        M-model, both of which rest on residual-checked calibrations;
+        per-point ambiguity refusals (``predict_point`` → ``None``)
+        still fall back individually.
+        """
+        fallbacks: typing.List[typing.Tuple[int, int, int]] = []
+        for entry in members:
+            index, n, _m = entry
+            prediction = predict_point(config, kernel, spec, prefix, n, m)
+            if prediction is None:
+                self.fallback_points += 1
+                fallbacks.append(entry)
+                continue
+            slots[index] = prediction.point
+            self.planned_points += 1
         return fallbacks
+
+    def _fit_model(self, config: SoCConfig, kernel: Kernel,
+                   spec: VariantSpec,
+                   coords: typing.Tuple, provable_by_m: typing.Dict[
+                       int, typing.List[typing.Tuple[int, int, int]]],
+                   prefixes: typing.Dict[int, _Prefix],
+                   handled: typing.Set[int], variant: str,
+                   scalars: typing.Optional[typing.Mapping[str, float]],
+                   seed: int, verify: bool,
+                   slots: typing.List[typing.Optional[SweepPoint]],
+                   remaining: typing.List[typing.Tuple[int, int, int]],
+                   ) -> typing.Optional[MPrefixModel]:
+        """Fit and holdout-validate the affine M-model for this sweep.
+
+        Anchors are the smallest and largest in-domain M values of the
+        sweep (so every other M interpolates), the holdout the median
+        in between.  Each of the three takes a full PR-7 calibration
+        (residual check included) unless the store already holds its
+        prefix.  Any failure — out-of-domain strategies, fewer than
+        four in-domain M groups (three calibrations would not beat
+        per-group calibrating them), anchor residual failure,
+        non-integer slope, holdout mismatch — returns ``None`` and the
+        sweep stays on per-group calibration.
+        """
+        floor = affine_domain(spec)
+        if floor is None:
+            return None
+        eligible = sorted(m for m in provable_by_m if m >= floor)
+        if len(eligible) < 4:
+            return None
+        m_lo, m_hi = eligible[0], eligible[-1]
+        m_mid = eligible[len(eligible) // 2]
+        anchors: typing.Dict[int, _Prefix] = {}
+        for m in (m_lo, m_mid, m_hi):
+            known = prefixes.get(m)
+            if known is not None:
+                # A stored prefix is residual-checked evidence already;
+                # anchoring on it keeps the fit simulation-free.
+                anchors[m] = known
+                continue
+            fallbacks, validated = self._plan_group(
+                config, kernel, spec, m, provable_by_m[m], variant,
+                scalars, seed, verify, slots)
+            remaining.extend(fallbacks)
+            handled.add(m)
+            self.prefixes_calibrated += 1
+            if validated is None:
+                self.holdout_fallbacks += 1
+                return None
+            anchors[m] = validated
+            prefixes[m] = validated
+            self._store_prefix(coords, m, validated)
+        model = fit_prefix_model(floor, m_lo, anchors[m_lo], m_hi,
+                                 anchors[m_hi])
+        if model is None or model.predict(m_mid) != anchors[m_mid]:
+            self.holdout_fallbacks += 1
+            return None
+        self.mmodels_fitted += 1
+        self._store_model(coords, model)
+        return model
+
+    # ------------------------------------------------------------------
+    # Calibration store plumbing
+    # ------------------------------------------------------------------
+    def _load_prefix(self, coords: typing.Tuple,
+                     m: int) -> typing.Optional[_Prefix]:
+        if self.cache is None:
+            return None
+        config, kernel_name, variant_name, resolved, seed = coords
+        payload = self.cache.get_record(
+            calibration_key("prefix", config, kernel_name, variant_name,
+                            resolved, seed, m=m), "prefix")
+        prefix = decode_prefix(payload)
+        if prefix is None:
+            self.store_misses += 1
+            return None
+        self.store_hits += 1
+        return prefix
+
+    def _store_prefix(self, coords: typing.Tuple, m: int,
+                      prefix: _Prefix) -> None:
+        if self.cache is None:
+            return
+        config, kernel_name, variant_name, resolved, seed = coords
+        self.cache.put_record(
+            calibration_key("prefix", config, kernel_name, variant_name,
+                            resolved, seed, m=m),
+            "prefix", encode_prefix(prefix))
+
+    def _load_model(self, coords: typing.Tuple
+                    ) -> typing.Optional[MPrefixModel]:
+        if self.cache is None:
+            return None
+        config, kernel_name, variant_name, resolved, seed = coords
+        payload = self.cache.get_record(
+            calibration_key("mmodel", config, kernel_name, variant_name,
+                            resolved, seed), "mmodel")
+        model = decode_mmodel(payload)
+        if model is None:
+            self.store_misses += 1
+            return None
+        self.store_hits += 1
+        return model
+
+    def _store_model(self, coords: typing.Tuple,
+                     model: MPrefixModel) -> None:
+        if self.cache is None:
+            return
+        config, kernel_name, variant_name, resolved, seed = coords
+        self.cache.put_record(
+            calibration_key("mmodel", config, kernel_name, variant_name,
+                            resolved, seed),
+            "mmodel", encode_mmodel(model))

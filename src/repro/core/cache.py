@@ -11,12 +11,25 @@ The cache has two layers:
 
 - an in-memory dict, always on, scoped to the
   :class:`SweepCache` instance;
-- an optional on-disk layer (one small JSON file per point under
-  ``directory``), shared between runs and between processes.
+- an optional on-disk layer (one small JSON file per record under
+  ``directory``), shared between runs and between processes.  The
+  disk layer can be bounded (``max_entries`` /
+  ``REPRO_CACHE_MAX_ENTRIES``): past the bound the least recently
+  *used* record files are evicted — reads refresh a file's mtime, so
+  a hot working set survives churn.
 
 Keys are SHA-256 hashes; the config contributes via
 :meth:`repro.soc.config.SoCConfig.digest`, so *any* microarchitectural
 change invalidates every point measured under the old timing.
+
+Beyond measured points, the cache content-addresses the batch
+planner's **calibration artifacts** (see :mod:`repro.core.batch`):
+per-(variant, M) dispatch prefixes and fitted affine M-axis prefix
+models, both keyed *without* N — a prefix is N-independent by
+construction, which is what lets a warm store skip calibration for
+grids over problem sizes it has never seen.  Calibration records carry
+their own schema version (:data:`CALIBRATION_SCHEMA`), so the prefix
+layout can evolve without invalidating measured points and vice versa.
 """
 
 from __future__ import annotations
@@ -38,6 +51,13 @@ CACHE_DIR_ENV = flags.CACHE_DIR_ENV
 
 #: Bump when the on-disk record layout changes; stale files then miss.
 _SCHEMA = 1
+
+#: Schema version of calibration records (dispatch prefixes and affine
+#: M-axis prefix models).  Part of the *key*, not just the payload, so
+#: bumping it — e.g. because the prefix gained a field or the batch
+#: algebra changed meaning — orphans old records instead of decoding
+#: them wrongly.
+CALIBRATION_SCHEMA = 1
 
 
 def default_cache_dir() -> str:
@@ -61,6 +81,30 @@ def point_key(config: SoCConfig, kernel_name: str, n: int, m: int,
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def calibration_key(kind: str, config: SoCConfig, kernel_name: str,
+                    variant_name: str,
+                    scalars: typing.Optional[typing.Mapping[str, float]],
+                    seed: int,
+                    m: typing.Optional[int] = None) -> str:
+    """Content address of one calibration artifact.
+
+    ``kind`` separates the namespaces (``"prefix"`` for one
+    (variant, M) dispatch prefix, ``"mmodel"`` for a fitted affine
+    M-axis model, which spans all M and passes ``m=None``).  There is
+    deliberately no N component: prefixes are N-independent, which is
+    the whole point of persisting them.  ``variant_name`` must be the
+    *resolved* variant (never ``"auto"``), so explicit and
+    feature-resolved requests share entries.
+    """
+    scalar_part = ("" if not scalars else
+                   ",".join(f"{k}={scalars[k]!r}" for k in sorted(scalars)))
+    text = (f"calibration={CALIBRATION_SCHEMA};kind={kind};"
+            f"config={config.digest()};kernel={kernel_name};"
+            f"variant={variant_name};scalars={scalar_part};seed={seed};"
+            f"m={m}")
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 class SweepCache:
     """Memoizes :class:`~repro.core.sweep.SweepPoint` measurements.
 
@@ -71,13 +115,28 @@ class SweepCache:
         on first write), so the cache survives the process and is
         shared across concurrent sweeps.  ``None`` keeps the cache
         purely in memory.
+    max_entries:
+        Bound on the number of record files the disk layer keeps;
+        past it, the least recently used files are evicted (counted in
+        :attr:`evictions`).  ``None`` (the default) defers to
+        ``REPRO_CACHE_MAX_ENTRIES``; unset there too means unbounded.
     """
 
-    def __init__(self, directory: typing.Optional[str] = None) -> None:
+    def __init__(self, directory: typing.Optional[str] = None,
+                 max_entries: typing.Optional[int] = None) -> None:
         self.directory = directory
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = (max_entries if max_entries is not None
+                            else flags.cache_max_entries())
         self._memory: typing.Dict[str, SweepPoint] = {}
+        self._records: typing.Dict[str, typing.Dict[str, typing.Any]] = {}
         self.hits = 0
         self.misses = 0
+        #: Disk-layer record files removed by the LRU bound, lifetime
+        #: of this instance (the ``--stats`` eviction figure).
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -105,17 +164,65 @@ class SweepCache:
             self._write_disk(key, point)
 
     # ------------------------------------------------------------------
+    # Calibration records (prefixes and fitted M-models)
+    # ------------------------------------------------------------------
+    def get_record(self, key: str,
+                   kind: str) -> typing.Optional[
+                       typing.Dict[str, typing.Any]]:
+        """The calibration payload stored under ``key``, or ``None``.
+
+        ``kind`` must match what the record was stored with — a prefix
+        key can never return an M-model payload even if a file were
+        hand-renamed into place.  Payload *field* validation is the
+        caller's job (the batch module knows the expected shapes); this
+        layer only guarantees a schema-matching ``kind``/``payload``
+        envelope.
+        """
+        record = self._records.get(key)
+        if record is None and self.directory is not None:
+            record = self._read_disk_record(key)
+            if record is not None:
+                self._records[key] = record
+        if record is None or record.get("kind") != kind:
+            return None
+        payload = record.get("payload")
+        return dict(payload) if isinstance(payload, dict) else None
+
+    def put_record(self, key: str, kind: str,
+                   payload: typing.Mapping[str, typing.Any]) -> None:
+        """Persist one calibration artifact under its content address."""
+        record = {"calibration_schema": CALIBRATION_SCHEMA, "kind": kind,
+                  "payload": dict(payload)}
+        self._records[key] = record
+        if self.directory is not None:
+            self._write_disk_json(key, record)
+
+    # ------------------------------------------------------------------
     # Disk layer
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
-    def _read_disk(self, key: str) -> typing.Optional[SweepPoint]:
+    def _load_json(self, key: str) -> typing.Optional[typing.Any]:
+        """Read and parse one record file; refreshes its LRU recency."""
         path = self._path(key)
         try:
             with open(path) as handle:
                 record = json.load(handle)
         except (OSError, ValueError):
+            return None
+        try:
+            # A read is a *use*: bump the mtime so the LRU bound evicts
+            # cold records, not hot ones.  Best effort — a read-only
+            # cache directory still serves hits.
+            os.utime(path)
+        except OSError:
+            pass
+        return record
+
+    def _read_disk(self, key: str) -> typing.Optional[SweepPoint]:
+        record = self._load_json(key)
+        if record is None:
             return None
         try:
             return self._decode(record)
@@ -125,9 +232,30 @@ class SweepCache:
             # so, because a silently re-measured point hides the
             # corruption forever.
             warnings.warn(
-                f"SweepCache: ignoring malformed cache record {path}",
+                "SweepCache: ignoring malformed cache record "
+                f"{self._path(key)}",
                 IntegrityWarning, stacklevel=2)
             return None
+
+    def _read_disk_record(self, key: str) -> typing.Optional[
+            typing.Dict[str, typing.Any]]:
+        record = self._load_json(key)
+        if record is None:
+            return None
+        if (isinstance(record, dict)
+                and record.get("calibration_schema") == CALIBRATION_SCHEMA
+                and isinstance(record.get("kind"), str)
+                and isinstance(record.get("payload"), dict)):
+            return record
+        # Unlike a torn point record, a schema-mismatched calibration
+        # record is *expected* after a schema bump (the key changes
+        # too, so normally unreachable) — but a malformed envelope is
+        # the same corruption story as above.
+        warnings.warn(
+            "SweepCache: ignoring malformed calibration record "
+            f"{self._path(key)}",
+            IntegrityWarning, stacklevel=2)
+        return None
 
     @staticmethod
     def _decode(record: typing.Any) -> typing.Optional[SweepPoint]:
@@ -151,7 +279,6 @@ class SweepCache:
         return point
 
     def _write_disk(self, key: str, point: SweepPoint) -> None:
-        os.makedirs(self.directory, exist_ok=True)
         record = {
             "schema": _SCHEMA,
             "kernel_name": point.kernel_name,
@@ -161,6 +288,10 @@ class SweepCache:
             "runtime_cycles": point.runtime_cycles,
             "phases": dict(point.phases),
         }
+        self._write_disk_json(key, record)
+
+    def _write_disk_json(self, key: str, record: typing.Any) -> None:
+        os.makedirs(self.directory, exist_ok=True)
         # Write-then-rename so concurrent sweep workers never observe a
         # torn file; last writer wins, and all writers agree anyway.
         path = self._path(key)
@@ -168,3 +299,38 @@ class SweepCache:
         with open(temp, "w") as handle:
             json.dump(record, handle)
         os.replace(temp, path)
+        self._enforce_bound()
+
+    def _enforce_bound(self) -> None:
+        """Evict least-recently-used record files past ``max_entries``.
+
+        Recency is file mtime: reads refresh it (:meth:`_load_json`),
+        writes set it.  Races with concurrent sweeps are benign — an
+        eviction of a record another process just re-read costs that
+        process one re-measurement, never a wrong result — and every
+        per-file ``OSError`` is swallowed for the same reason.
+        """
+        if self.max_entries is None:
+            return
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        entries = [name for name in names if name.endswith(".json")]
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        stamped = []
+        for name in entries:
+            path = os.path.join(self.directory, name)
+            try:
+                stamped.append((os.path.getmtime(path), name))
+            except OSError:
+                continue
+        stamped.sort()
+        for _mtime, name in stamped[:excess]:
+            try:
+                os.remove(os.path.join(self.directory, name))
+            except OSError:
+                continue
+            self.evictions += 1

@@ -148,7 +148,14 @@ class SweepExecutor:
     - ``planned_points`` — points timed by the planner's closed form
       instead of the event engine;
     - ``batch_fallback_points`` — points the planner examined but
-      handed back to the event engine.
+      handed back to the event engine;
+    - ``prefixes_calibrated`` / ``prefixes_predicted`` — M groups whose
+      dispatch prefix came from a calibration simulation vs. from the
+      affine M-model or the calibration store (no simulation);
+    - ``mmodels_fitted`` / ``holdout_fallbacks`` — affine M-axis models
+      fitted-and-holdout-verified vs. fit attempts abandoned;
+    - ``calibration_store_hits`` / ``calibration_store_misses`` —
+      persistent calibration-store outcomes (prefixes and M-models).
 
     :meth:`run` also assembles :attr:`last_run_stats`, a flat summary
     (throughput, cache/pool/planner outcomes, interpreter resume
@@ -172,6 +179,12 @@ class SweepExecutor:
         self.simulated_points = 0
         self.planned_points = 0
         self.batch_fallback_points = 0
+        self.prefixes_calibrated = 0
+        self.prefixes_predicted = 0
+        self.mmodels_fitted = 0
+        self.holdout_fallbacks = 0
+        self.calibration_store_hits = 0
+        self.calibration_store_misses = 0
         #: Summary of the most recent :meth:`run` (see
         #: :meth:`_collect_stats`); ``None`` before the first run.
         self.last_run_stats: typing.Optional[
@@ -199,10 +212,18 @@ class SweepExecutor:
         self.simulated_points = 0
         self.planned_points = 0
         self.batch_fallback_points = 0
+        self.prefixes_calibrated = 0
+        self.prefixes_predicted = 0
+        self.mmodels_fitted = 0
+        self.holdout_fallbacks = 0
+        self.calibration_store_hits = 0
+        self.calibration_store_misses = 0
         started = time.perf_counter()
         pool_before = (_SYSTEM_POOL.hits, _SYSTEM_POOL.builds,
                        _SYSTEM_POOL.restores, _SYSTEM_POOL.dropped,
                        _SYSTEM_POOL.resume_count())
+        evictions_before = (self.cache.evictions
+                            if self.cache is not None else 0)
 
         # N-major grid order: the serial iteration order, and the order
         # of the returned points regardless of execution interleaving.
@@ -246,13 +267,20 @@ class SweepExecutor:
             if flags.naive_batch():
                 remaining = pending
             else:
-                planner = BatchPlanner(_SYSTEM_POOL, reuse=self.reuse)
+                planner = BatchPlanner(_SYSTEM_POOL, reuse=self.reuse,
+                                       cache=self.cache)
                 remaining = planner.consume(
                     config, kernel_name, variant, scalars, seed, verify,
                     pending, slots)
                 self.simulated_points += planner.calibration_points
                 self.planned_points = planner.planned_points
                 self.batch_fallback_points = planner.fallback_points
+                self.prefixes_calibrated = planner.prefixes_calibrated
+                self.prefixes_predicted = planner.prefixes_predicted
+                self.mmodels_fitted = planner.mmodels_fitted
+                self.holdout_fallbacks = planner.holdout_fallbacks
+                self.calibration_store_hits = planner.store_hits
+                self.calibration_store_misses = planner.store_misses
                 emit_ready()
             if remaining:
                 if self.jobs == 1 or len(remaining) == 1:
@@ -267,15 +295,19 @@ class SweepExecutor:
                 for index, _n, _m in pending:
                     self.cache.put(keys[index], slots[index])
 
+        evictions = ((self.cache.evictions - evictions_before)
+                     if self.cache is not None else 0)
         self.last_run_stats = self._collect_stats(
-            len(coords), time.perf_counter() - started, pool_before)
+            len(coords), time.perf_counter() - started, pool_before,
+            evictions)
         if _LOG_RUN_STATS:
             _RUN_STATS_LOG.append(self.last_run_stats)
         points = typing.cast(typing.List[SweepPoint], slots)
         return SweepResult(points=tuple(points))
 
     def _collect_stats(self, total_points: int, elapsed: float,
-                       pool_before: typing.Tuple[int, int, int, int, int]
+                       pool_before: typing.Tuple[int, int, int, int, int],
+                       cache_evictions: int
                        ) -> typing.Dict[str, typing.Any]:
         """Summarize one :meth:`run` for the ``--stats`` reporting path.
 
@@ -298,6 +330,13 @@ class SweepExecutor:
             "batch_fallback_points": self.batch_fallback_points,
             "batch_plan_hit_rate": (self.planned_points / predictable
                                     if predictable else 0.0),
+            "prefixes_calibrated": self.prefixes_calibrated,
+            "prefixes_predicted": self.prefixes_predicted,
+            "mmodels_fitted": self.mmodels_fitted,
+            "holdout_fallbacks": self.holdout_fallbacks,
+            "calibration_store_hits": self.calibration_store_hits,
+            "calibration_store_misses": self.calibration_store_misses,
+            "cache_evictions": cache_evictions,
             "pool_hits": _SYSTEM_POOL.hits - hits0,
             "pool_builds": _SYSTEM_POOL.builds - builds0,
             "pool_restores": _SYSTEM_POOL.restores - restores0,

@@ -6,6 +6,15 @@ ratio of two grids, and the MAPE table validates a model against one.
 :func:`sweep` runs one simulation per grid point on a boot-state SoC
 (pooled instances are reset bit-identically between points, so no state
 leaks) and returns a queryable :class:`SweepResult`.
+
+Grids rarely pay one simulation per point in practice: the
+:class:`~repro.core.executor.SweepExecutor` consults the content-
+addressed :class:`~repro.core.cache.SweepCache` first, then hands the
+misses to the :class:`~repro.core.batch.BatchPlanner`, which times
+provable points closed-form from a handful of calibration simulations
+— and the calibrations themselves are persisted in the same cache (the
+*calibration store*), so a warm store can measure a brand-new grid
+without entering the event engine at all.
 """
 
 from __future__ import annotations

@@ -25,6 +25,11 @@ variable                  effect
                           event engine instead of batching
                           contention-free points through the vectorized
                           ``BatchPlanner`` timing model
+``REPRO_NAIVE_MPREDICT``  the batch planner calibrates one event
+                          simulation per (variant, M) group instead of
+                          fitting the dispatch prefix as an affine
+                          function of M from two anchor calibrations
+                          (and skips the persistent calibration store)
 ``REPRO_LINEAR_ROUTING``  address maps fall back to the unsorted
                           linear region scan (pre-bisect routing);
                           sampled at map construction time
@@ -32,6 +37,9 @@ variable                  effect
                           every acquire instead of resetting and
                           reusing pooled instances
 ``REPRO_CACHE_DIR``       relocates the on-disk sweep cache
+``REPRO_CACHE_MAX_ENTRIES``  bounds the on-disk sweep-cache layer to
+                          this many record files; the least recently
+                          used records are evicted past the bound
 ``REPRO_STRICT``          simulation-integrity strict mode: access
                           anomalies the auditors would otherwise only
                           *record* (stale sync-unit credits, lost
@@ -86,6 +94,14 @@ NAIVE_SNAPSHOT_ENV = "REPRO_NAIVE_SNAPSHOT"
 #: A/B property tests proving batched timing is bit-identical.
 NAIVE_BATCH_ENV = "REPRO_NAIVE_BATCH"
 
+#: Environment variable: when set (non-empty), the ``BatchPlanner``
+#: restores the one-calibration-per-(variant, M)-group behaviour: no
+#: affine M-axis prefix models are fitted, no prefixes are synthesized
+#: for unvisited M groups, and the persistent calibration store is
+#: neither read nor written.  Used by the A/B property tests proving
+#: M-axis prefix prediction is bit-identical.
+NAIVE_MPREDICT_ENV = "REPRO_NAIVE_MPREDICT"
+
 #: Environment variable: when set (non-empty) at map construction time,
 #: ``region_at`` falls back to the unsorted linear scan (and port
 #: routers bypass their hit slots).  Routing is functional, so this is
@@ -100,6 +116,13 @@ FRESH_SYSTEMS_ENV = "REPRO_FRESH_SYSTEMS"
 #: Environment variable overriding the default on-disk cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable bounding the on-disk sweep-cache layer: a
+#: positive integer caps the number of record files kept under the
+#: cache directory; past the cap, the least recently used records are
+#: evicted (reads refresh recency).  Unset, empty or non-positive
+#: means unbounded — the pre-existing behaviour.
+CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
 #: Environment variable: when set (non-empty), the integrity auditors
 #: escalate recorded anomalies to errors (see :mod:`repro.sim.diag`).
 #: CI runs the whole suite once with this set so strict-mode
@@ -109,8 +132,9 @@ STRICT_ENV = "REPRO_STRICT"
 #: Every gate this module owns, for introspection and for benchmarks
 #: that must run with a known-clean environment.
 ALL_GATES = (NAIVE_POLL_ENV, NAIVE_CHANNEL_ENV, NAIVE_BARRIER_ENV,
-             NAIVE_SNAPSHOT_ENV, NAIVE_BATCH_ENV, LINEAR_ROUTING_ENV,
-             FRESH_SYSTEMS_ENV, CACHE_DIR_ENV, STRICT_ENV)
+             NAIVE_SNAPSHOT_ENV, NAIVE_BATCH_ENV, NAIVE_MPREDICT_ENV,
+             LINEAR_ROUTING_ENV, FRESH_SYSTEMS_ENV, CACHE_DIR_ENV,
+             CACHE_MAX_ENTRIES_ENV, STRICT_ENV)
 
 
 def _enabled(name: str) -> bool:
@@ -142,6 +166,11 @@ def naive_batch() -> bool:
     return _enabled(NAIVE_BATCH_ENV)
 
 
+def naive_mpredict() -> bool:
+    """Whether ``REPRO_NAIVE_MPREDICT`` disables M-axis prefix models."""
+    return _enabled(NAIVE_MPREDICT_ENV)
+
+
 def linear_routing() -> bool:
     """Whether ``REPRO_LINEAR_ROUTING`` selects linear-scan routing."""
     return _enabled(LINEAR_ROUTING_ENV)
@@ -155,6 +184,23 @@ def fresh_systems() -> bool:
 def cache_dir() -> typing.Optional[str]:
     """The ``REPRO_CACHE_DIR`` override, or ``None`` when unset/empty."""
     return os.environ.get(CACHE_DIR_ENV) or None
+
+
+def cache_max_entries() -> typing.Optional[int]:
+    """The ``REPRO_CACHE_MAX_ENTRIES`` bound, or ``None`` (unbounded).
+
+    Only a positive integer bounds the cache; empty, non-numeric or
+    non-positive values are ignored rather than crashing a sweep over a
+    typo in an environment variable.
+    """
+    raw = os.environ.get(CACHE_MAX_ENTRIES_ENV)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def strict() -> bool:

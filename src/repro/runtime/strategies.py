@@ -51,6 +51,19 @@ class DispatchStrategy(abc.ABC):
     key: str = ""
     #: Hardware feature the strategy needs (``SoCConfig.multicast``).
     requires_multicast: bool = False
+    #: Smallest offload width M from which this strategy's doorbell
+    #: schedule — and therefore the whole N-independent dispatch prefix
+    #: — is an *affine* function of M, or ``None`` when no such claim
+    #: is made.  The batch planner's M-axis prediction layer
+    #: (:class:`repro.core.batch.MPrefixModel`) only fits prefixes for
+    #: strategies that declare a domain here, and only for M inside it;
+    #: the claim is additionally verified residual-exactly against a
+    #: held-out M before any prefix is synthesized.  A subclass may
+    #: inherit the declaration, but the planner's exact-strategy-type
+    #: provability check refuses subclasses wholesale, so an overridden
+    #: :meth:`dispatch` can never smuggle non-affine timing in under an
+    #: inherited claim.
+    affine_dispatch_min_m: typing.ClassVar[typing.Optional[int]] = None
 
     @abc.abstractmethod
     def dispatch(self, system: "ManticoreSystem", desc: abi.JobDescriptor,
@@ -70,6 +83,9 @@ class SequentialStoreDispatch(DispatchStrategy):
 
     key = "sequential_store"
     requires_multicast = False
+    #: One identical loop iteration per cluster: the prefix is affine
+    #: in M from M = 1 (the paper's Eq. 1 models exactly this term).
+    affine_dispatch_min_m = 1
 
     def dispatch(self, system: "ManticoreSystem", desc: abi.JobDescriptor,
                  desc_addr: int) -> typing.Generator:
@@ -91,6 +107,10 @@ class MulticastDispatch(DispatchStrategy):
 
     key = "multicast"
     requires_multicast = True
+    #: One multicast store regardless of M — affine (constant) from
+    #: M = 2; M = 1 takes the plain-store special case below, which
+    #: sits off that line, so the domain starts at 2.
+    affine_dispatch_min_m = 2
 
     def dispatch(self, system: "ManticoreSystem", desc: abi.JobDescriptor,
                  desc_addr: int) -> typing.Generator:
@@ -125,6 +145,14 @@ class CompletionStrategy(abc.ABC):
     #: Whether each job needs a per-job completion flag allocated (and
     #: passed back as the descriptor's ``completion_addr``).
     uses_flag: bool = True
+
+    #: Whether this strategy's :meth:`arm` fragment costs the same
+    #: host cycles for every offload width M (a single-job launch arms
+    #: one flag or one threshold — the store's *value* changes with M,
+    #: its timing does not).  Required, together with the dispatch
+    #: side's :attr:`DispatchStrategy.affine_dispatch_min_m`, before
+    #: the batch planner may model the dispatch prefix as affine in M.
+    prefix_affine_in_m: typing.ClassVar[bool] = False
 
     def completion_addr(self, system: "ManticoreSystem",
                         flag_addr: typing.Optional[int]) -> int:
@@ -163,6 +191,8 @@ class AmoPollCompletion(CompletionStrategy):
     requires_hw_sync = False
     sync_mode = abi.SYNC_MODE_AMO
     uses_flag = True
+    #: Arming is one posted flag-reset store per job, independent of M.
+    prefix_affine_in_m = True
 
     def arm(self, system, jobs):
         host = system.host
@@ -285,6 +315,8 @@ class SyncUnitCompletion(CompletionStrategy):
     requires_hw_sync = True
     sync_mode = abi.SYNC_MODE_SYNCUNIT
     uses_flag = False
+    #: Arming is one posted threshold store; only its *value* is M.
+    prefix_affine_in_m = True
 
     def completion_addr(self, system, flag_addr):
         return system.syncunit_increment_addr

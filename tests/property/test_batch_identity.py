@@ -25,7 +25,11 @@ import pytest
 from repro.core import batch
 from repro.core.executor import SweepExecutor
 from repro.core.offload import offload
-from repro.flags import FRESH_SYSTEMS_ENV, NAIVE_BATCH_ENV
+from repro.flags import (
+    FRESH_SYSTEMS_ENV,
+    NAIVE_BATCH_ENV,
+    NAIVE_MPREDICT_ENV,
+)
 from repro.kernels.base import Kernel
 from repro.kernels.registry import _REGISTRY as _KERNEL_REGISTRY
 from repro.kernels.registry import get_kernel, register_kernel
@@ -63,6 +67,7 @@ def _batching_on(monkeypatch):
     explicitly, so the ambient environment must not pre-disable the
     fast side they compare against."""
     monkeypatch.delenv(NAIVE_BATCH_ENV, raising=False)
+    monkeypatch.delenv(NAIVE_MPREDICT_ENV, raising=False)
     monkeypatch.delenv(FRESH_SYSTEMS_ENV, raising=False)
 
 
@@ -107,9 +112,10 @@ def test_batched_matches_naive_across_kernels_and_variants(kernel, variant):
                                       variant)
     assert fast == naive
     # Agreement must come from real predictions, not wholesale fallback:
-    # one calibration per M group, everything else planned.
+    # at most one calibration per M group (fewer when the affine
+    # M-model predicts a group outright), everything else planned.
     assert executor.planned_points > 0
-    assert executor.simulated_points == len(M_VALUES)
+    assert 0 < executor.simulated_points <= len(M_VALUES)
     assert executor.planned_points + executor.simulated_points \
         == len(N_VALUES) * len(M_VALUES)
 
@@ -147,15 +153,32 @@ def test_naive_gate_disables_the_planner():
     assert executor.simulated_points == len(result)
 
 
-def test_single_n_groups_are_not_calibrated():
-    """A lone provable point per group gains nothing from calibration;
-    the planner must hand it straight back to the event engine."""
+def test_single_n_groups_ride_the_m_model():
+    """A lone provable point per group gains nothing from calibrating
+    *itself*, but it can anchor (or be predicted by) the affine
+    M-model: a single-N M-sweep over a sequential-dispatch variant
+    fits from three anchors and predicts the rest."""
     naive, fast, executor = _ab_sweep(CFG, "daxpy", [96], M_VALUES,
                                       "baseline")
+    assert fast == naive
+    assert executor.mmodels_fitted == 1
+    assert executor.simulated_points == 3       # lo, holdout, hi anchors
+    assert executor.planned_points == len(M_VALUES) - 3
+    assert executor.batch_fallback_points == 0
+
+
+def test_single_n_groups_are_not_calibrated_under_the_gate():
+    """With ``REPRO_NAIVE_MPREDICT`` set the PR-7 rule is back: a lone
+    provable point per group goes straight to the event engine."""
+    with _env(NAIVE_MPREDICT_ENV, "1"):
+        naive, fast, executor = _ab_sweep(CFG, "daxpy", [96], M_VALUES,
+                                          "baseline")
     assert fast == naive
     assert executor.planned_points == 0
     assert executor.batch_fallback_points == len(M_VALUES)
     assert executor.simulated_points == len(M_VALUES)
+    assert executor.mmodels_fitted == 0
+    assert executor.prefixes_predicted == 0
 
 
 def test_unprovable_strategy_type_falls_back():

@@ -84,6 +84,33 @@ def test_main_exit_codes(tmp_path, capsys):
     assert "regressed" in capsys.readouterr().err
 
 
+def test_main_require_fails_on_missing_benchmark(tmp_path, capsys):
+    reference = tmp_path / "ref.json"
+    current = tmp_path / "cur.json"
+    reference.write_text(json.dumps(_report(
+        sweep={"points_per_sec": 100.0})))
+    current.write_text(json.dumps(_report(sweep={"points_per_sec": 95.0})))
+
+    # Present benchmark satisfies the requirement.
+    assert check_bench.main(
+        [str(current), "--reference", str(reference),
+         "--require", "sweep"]) == 0
+    capsys.readouterr()
+
+    # A required benchmark missing from the current report fails even
+    # though every shared figure is within tolerance.
+    assert check_bench.main(
+        [str(current), "--reference", str(reference),
+         "--require", "sweep", "--require", "renamed_ab"]) == 1
+    assert "renamed_ab required but missing" in capsys.readouterr().err
+
+    # A benchmark without any throughput figure does not count either.
+    current.write_text(json.dumps(_report(sweep={"speedup": 2.0})))
+    assert check_bench.main(
+        [str(current), "--reference", str(reference),
+         "--require", "sweep"]) == 1
+
+
 def test_main_rejects_bad_tolerance(tmp_path):
     current = tmp_path / "cur.json"
     current.write_text(json.dumps(_report()))

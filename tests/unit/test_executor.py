@@ -201,6 +201,102 @@ def _mangle_cache_records(directory, mutate):
             json.dump(mutate(record), handle)
 
 
+# ----------------------------------------------------------------------
+# Cache: the LRU bound on the disk layer
+# ----------------------------------------------------------------------
+def test_max_entries_is_validated():
+    with pytest.raises(ValueError):
+        SweepCache(max_entries=0)
+
+
+def test_disk_layer_is_lru_bounded(tmp_path):
+    directory = str(tmp_path / "cache")
+    cache = SweepCache(directory, max_entries=3)
+    for i in range(6):
+        cache.put_record(f"{i:064x}", "prefix", {"value": i})
+    files = [n for n in os.listdir(directory) if n.endswith(".json")]
+    assert len(files) == 3
+    assert cache.evictions == 3
+    # The survivors are the most recently written records.
+    survivors = {name[:-len(".json")] for name in files}
+    assert survivors == {f"{i:064x}" for i in (3, 4, 5)}
+
+
+def test_lru_reads_refresh_recency(tmp_path):
+    directory = str(tmp_path / "cache")
+    cache = SweepCache(directory, max_entries=2)
+    cache.put_record(f"{0:064x}", "prefix", {"value": 0})
+    cache.put_record(f"{1:064x}", "prefix", {"value": 1})
+    # Age the first record's mtime, then *use* it from a fresh cache
+    # (the in-memory layer must not mask the disk read).
+    past = os.path.getmtime(os.path.join(directory, f"{1:064x}.json")) - 60
+    os.utime(os.path.join(directory, f"{0:064x}.json"), (past, past))
+    reader = SweepCache(directory, max_entries=2)
+    assert reader.get_record(f"{0:064x}", "prefix") == {"value": 0}
+    os.utime(os.path.join(directory, f"{1:064x}.json"), (past, past))
+    reader.put_record(f"{2:064x}", "prefix", {"value": 2})
+    names = {n for n in os.listdir(directory) if n.endswith(".json")}
+    # Record 1 (stale mtime) was evicted; the freshly read 0 survived.
+    assert names == {f"{0:064x}.json", f"{2:064x}.json"}
+    assert reader.evictions == 1
+
+
+def test_max_entries_defaults_to_the_environment(tmp_path, monkeypatch):
+    from repro.flags import CACHE_MAX_ENTRIES_ENV
+    monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "2")
+    cache = SweepCache(str(tmp_path / "cache"))
+    assert cache.max_entries == 2
+    for i in range(4):
+        cache.put_record(f"{i:064x}", "prefix", {"value": i})
+    assert cache.evictions == 2
+    monkeypatch.delenv(CACHE_MAX_ENTRIES_ENV)
+    assert SweepCache(str(tmp_path / "other")).max_entries is None
+
+
+# ----------------------------------------------------------------------
+# Cache: calibration records
+# ----------------------------------------------------------------------
+def test_calibration_records_round_trip_and_check_kind(tmp_path):
+    directory = str(tmp_path / "cache")
+    cache = SweepCache(directory)
+    key = "ab" * 32
+    cache.put_record(key, "prefix", {"start_cycle": 10})
+    assert cache.get_record(key, "prefix") == {"start_cycle": 10}
+    # A prefix key can never answer an M-model request.
+    assert cache.get_record(key, "mmodel") is None
+    # And it survives the process (a fresh cache over the same dir).
+    assert SweepCache(directory).get_record(key, "prefix") \
+        == {"start_cycle": 10}
+    assert SweepCache(directory).get_record("cd" * 32, "prefix") is None
+
+
+def test_malformed_calibration_record_is_a_warned_miss(tmp_path):
+    from repro.sim import IntegrityWarning
+    directory = str(tmp_path / "cache")
+    cache = SweepCache(directory)
+    key = "ab" * 32
+    cache.put_record(key, "prefix", {"start_cycle": 10})
+    _mangle_cache_records(directory, lambda r: {**r, "payload": [1, 2]})
+    with pytest.warns(IntegrityWarning,
+                      match="malformed calibration record"):
+        assert SweepCache(directory).get_record(key, "prefix") is None
+
+
+def test_calibration_key_separates_namespaces():
+    from repro.core.cache import calibration_key
+    base = dict(config=CFG, kernel_name="daxpy", variant_name="extended",
+                scalars=None, seed=0)
+    assert calibration_key("prefix", m=2, **base) \
+        != calibration_key("prefix", m=3, **base)
+    assert calibration_key("prefix", m=2, **base) \
+        != calibration_key("mmodel", **base)
+    assert calibration_key("mmodel", **base) \
+        == calibration_key("mmodel", **base)
+    other = dict(base, config=SoCConfig.baseline(num_clusters=8))
+    assert calibration_key("mmodel", **base) \
+        != calibration_key("mmodel", **other)
+
+
 @pytest.mark.parametrize("mutate", [
     pytest.param(lambda r: {k: v for k, v in r.items() if k != "n"},
                  id="missing-key"),
@@ -216,7 +312,10 @@ def test_malformed_cache_record_is_a_warned_miss(tmp_path, mutate):
     first = run(SweepExecutor(cache=SweepCache(directory)))
     _mangle_cache_records(directory, mutate)
     recovered = SweepExecutor(cache=SweepCache(directory))
-    with pytest.warns(IntegrityWarning, match="malformed cache record"):
+    # Point records warn "malformed cache record"; mutations that also
+    # break the calibration records alongside them warn "malformed
+    # calibration record" — both are the same corruption story.
+    with pytest.warns(IntegrityWarning, match="malformed .* record"):
         result = run(recovered)
     assert recovered.cache_hits == 0
     assert recovered.simulated_points + recovered.planned_points \

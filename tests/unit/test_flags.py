@@ -11,6 +11,7 @@ from repro import flags
     (flags.naive_barrier, flags.NAIVE_BARRIER_ENV),
     (flags.naive_snapshot, flags.NAIVE_SNAPSHOT_ENV),
     (flags.naive_batch, flags.NAIVE_BATCH_ENV),
+    (flags.naive_mpredict, flags.NAIVE_MPREDICT_ENV),
     (flags.linear_routing, flags.LINEAR_ROUTING_ENV),
     (flags.fresh_systems, flags.FRESH_SYSTEMS_ENV),
     (flags.strict, flags.STRICT_ENV),
@@ -40,9 +41,25 @@ def test_all_gates_is_complete():
     assert set(flags.ALL_GATES) == {
         flags.NAIVE_POLL_ENV, flags.NAIVE_CHANNEL_ENV,
         flags.NAIVE_BARRIER_ENV, flags.NAIVE_SNAPSHOT_ENV,
-        flags.NAIVE_BATCH_ENV, flags.LINEAR_ROUTING_ENV,
-        flags.FRESH_SYSTEMS_ENV,
-        flags.CACHE_DIR_ENV, flags.STRICT_ENV}
+        flags.NAIVE_BATCH_ENV, flags.NAIVE_MPREDICT_ENV,
+        flags.LINEAR_ROUTING_ENV, flags.FRESH_SYSTEMS_ENV,
+        flags.CACHE_DIR_ENV, flags.CACHE_MAX_ENTRIES_ENV,
+        flags.STRICT_ENV}
+
+
+def test_cache_max_entries_accepts_only_positive_integers(monkeypatch):
+    monkeypatch.delenv(flags.CACHE_MAX_ENTRIES_ENV, raising=False)
+    assert flags.cache_max_entries() is None
+    monkeypatch.setenv(flags.CACHE_MAX_ENTRIES_ENV, "")
+    assert flags.cache_max_entries() is None
+    monkeypatch.setenv(flags.CACHE_MAX_ENTRIES_ENV, "not-a-number")
+    assert flags.cache_max_entries() is None
+    monkeypatch.setenv(flags.CACHE_MAX_ENTRIES_ENV, "0")
+    assert flags.cache_max_entries() is None
+    monkeypatch.setenv(flags.CACHE_MAX_ENTRIES_ENV, "-3")
+    assert flags.cache_max_entries() is None
+    monkeypatch.setenv(flags.CACHE_MAX_ENTRIES_ENV, "17")
+    assert flags.cache_max_entries() == 17
 
 
 def test_accessors_reread_the_environment(monkeypatch):

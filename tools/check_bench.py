@@ -12,7 +12,10 @@ those are the numbers the benchmark module itself derives from
 best-of-N rounds precisely so a loaded runner cannot flake them the way
 raw wall-clock times do.  Benchmarks present on only one side are
 reported but never fail the gate (snapshots regenerate on a different
-cadence than CI).
+cadence than CI) — except benchmarks named with ``--require``, which
+must appear in the *current* report: CI passes the A/B benchmarks it
+depends on, so a renamed or silently skipped benchmark fails loudly
+instead of degrading the gate to a no-op.
 
 Usage::
 
@@ -99,6 +102,11 @@ def main(argv=None):
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional slowdown before failing "
                              "(default: 0.10)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="benchmark name that must appear (with a "
+                             "throughput figure) in the current report; "
+                             "repeatable")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
@@ -109,11 +117,17 @@ def main(argv=None):
         current = json.load(handle)
 
     failures, lines = compare(reference, current, args.tolerance)
+    present = _throughputs(current)
+    for name in args.require:
+        if name not in present:
+            failures.append(
+                f"{name} required but missing from {args.current} "
+                "(renamed or skipped benchmark?)")
     print(f"check_bench: {args.current} vs {args.reference} "
           f"(tolerance {args.tolerance:.0%})")
     print("\n".join(lines))
     if failures:
-        print(f"\n{len(failures)} throughput regression(s):",
+        print(f"\n{len(failures)} benchmark gate failure(s):",
               file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
