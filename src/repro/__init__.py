@@ -28,9 +28,20 @@ Quickstart::
     print(result.runtime_cycles)
 """
 
-from repro.core.decision import OffloadDecision, min_clusters_for_deadline
+from repro.core.decision import (
+    FabricDecision,
+    FabricOption,
+    OffloadDecision,
+    choose_fabric,
+    min_clusters_for_deadline,
+)
 from repro.core.mape import mape, mape_table
-from repro.core.model import OffloadModel, PAPER_DAXPY_MODEL
+from repro.core.model import (
+    OffloadModel,
+    PAPER_DAXPY_MODEL,
+    TileClassModel,
+    fit_class_models,
+)
 from repro.core.offload import (
     HostRunResult,
     OffloadResult,
@@ -62,6 +73,7 @@ from repro.kernels.registry import get_kernel, kernel_names
 from repro.runtime.api import RUNTIME_VARIANTS, make_runtime
 from repro.soc.config import SoCConfig
 from repro.soc.manticore import ManticoreSystem
+from repro.soc.tiles import TileClass, TileGroup, get_tile_class
 
 __version__ = "1.0.0"
 
@@ -75,6 +87,8 @@ __all__ = [
     "PowerBudget",
     "TiledOffloadResult",
     "DecisionError",
+    "FabricDecision",
+    "FabricOption",
     "KernelError",
     "ManticoreSystem",
     "ModelError",
@@ -92,7 +106,13 @@ __all__ = [
     "SweepExecutor",
     "SweepPoint",
     "SweepResult",
+    "TileClass",
+    "TileClassModel",
+    "TileGroup",
+    "choose_fabric",
+    "fit_class_models",
     "get_kernel",
+    "get_tile_class",
     "kernel_names",
     "make_runtime",
     "mape",

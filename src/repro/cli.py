@@ -8,6 +8,7 @@ Usage::
     repro fit                   # Eq. 1 model fit
     repro mape                  # Eq. 2 validation
     repro decision              # Eq. 3 deadline scenarios
+    repro fabric                # E12 heterogeneous fabric selection
     repro ablation-features     # A1
     repro ablation-dispatch     # A2
     repro kernels               # A3
@@ -52,6 +53,8 @@ _EXPERIMENTS: typing.Dict[str, typing.Tuple[str, typing.Callable]] = {
                   experiments.crossover_experiment),
     "energy": ("E8: offload energy, baseline vs extended",
                experiments.energy_experiment),
+    "fabric": ("E12: fabric selection — tile class and width under a "
+               "deadline", experiments.fabric_experiment),
     "scheduler": ("E9: placement policies on a fine-grained job stream",
                   experiments.scheduler_experiment),
     "concurrency": ("E10: space-shared concurrent jobs vs time sharing",
@@ -244,9 +247,12 @@ def _print_run_stats(out: typing.TextIO) -> None:
     if not runs:
         out.write("\nsweep statistics: no sweeps executed\n")
         return
+    # tile_group/tile_class are labels, not counters — aggregated in
+    # the per-class breakdown below instead of the numeric totals.
+    skip = ("points_per_second", "batch_plan_hit_rate", "tile_group",
+            "tile_class")
     total = {key: sum(run[key] for run in runs)
-             for key in runs[0] if key not in ("points_per_second",
-                                               "batch_plan_hit_rate")}
+             for key in runs[0] if key not in skip}
     rate = (total["points"] / total["elapsed_seconds"]
             if total["elapsed_seconds"] > 0 else float("inf"))
     predictable = total["planned_points"] + total["batch_fallback_points"]
@@ -275,6 +281,32 @@ def _print_run_stats(out: typing.TextIO) -> None:
         f"{total['pool_builds']} built, {total['pool_dropped']} dropped\n"
         f"  resumes     {total['sim_resumes']} process wake-ups in the "
         f"event engine\n")
+    by_class: typing.Dict[str, typing.Dict[str, float]] = {}
+    for run in runs:
+        label = run.get("tile_class") or "default"
+        bucket = by_class.setdefault(
+            label, {"sweeps": 0, "points": 0, "planned_points": 0,
+                    "simulated_points": 0, "batch_fallback_points": 0,
+                    "prefixes_calibrated": 0})
+        bucket["sweeps"] += 1
+        for key in ("points", "planned_points", "simulated_points",
+                    "batch_fallback_points", "prefixes_calibrated"):
+            bucket[key] += run.get(key, 0)
+    if len(by_class) > 1 or "default" not in by_class:
+        out.write("  per tile class:\n")
+        for label in sorted(by_class):
+            bucket = by_class[label]
+            covered = (bucket["planned_points"]
+                       + bucket["batch_fallback_points"])
+            engagement = (100.0 * bucket["planned_points"] / covered
+                          if covered else 0.0)
+            out.write(
+                f"    {label:12s} {int(bucket['sweeps'])} sweeps, "
+                f"{int(bucket['points'])} points, "
+                f"{int(bucket['planned_points'])} planned, "
+                f"{int(bucket['batch_fallback_points'])} fallbacks, "
+                f"{int(bucket['prefixes_calibrated'])} calibrated "
+                f"(engagement {engagement:.1f}%)\n")
 
 
 def main(argv: typing.Optional[typing.Sequence[str]] = None,

@@ -20,13 +20,16 @@ from repro.noc.xbar import Interconnect
 from repro.sim import Simulator, ThroughputChannel, TraceRecorder
 
 if typing.TYPE_CHECKING:
-    from repro.kernels.base import Kernel, WorkSlice
+    from repro.kernels.base import Kernel, KernelTiming, WorkSlice
     from repro.soc.fabricbarrier import FabricBarrier
+    from repro.soc.tiles import ResolvedTile
 
 
 @functools.lru_cache(maxsize=4096)
 def _phase_core_cycles(kernel: "Kernel", elements: int, num_cores: int,
-                       n: int) -> typing.Tuple[int, ...]:
+                       n: int,
+                       timing: "typing.Optional[KernelTiming]" = None
+                       ) -> typing.Tuple[int, ...]:
     """Per-core compute cycles for one cluster compute phase.
 
     The whole phase's timing is a function of the cluster slice's
@@ -34,23 +37,32 @@ def _phase_core_cycles(kernel: "Kernel", elements: int, num_cores: int,
     positions), so one NumPy pass over the per-core counts — via the
     kernel's vectorized timing — covers every cluster and every job of
     a sweep that shares the shape.  Kernel instances are registry
-    singletons, so keying the memo on the object is stable.
+    singletons and ``KernelTiming`` is frozen, so keying the memo on
+    the objects is stable.  ``timing`` is a tile class's per-kernel
+    rate override; ``None`` uses the kernel's own (default-class)
+    timing, including any ``compute_cycles`` subclass override.
     """
     from repro.kernels.base import split_range
     counts = numpy.fromiter(
         (sub.hi - sub.lo for sub in split_range(elements, num_cores)),
         dtype=numpy.int64, count=num_cores)
-    return tuple(int(c) for c in kernel.compute_cycles_array(counts, n))
+    if timing is None:
+        cycles = kernel.compute_cycles_array(counts, n)
+    else:
+        cycles = timing.cycles_array(counts)
+    return tuple(int(c) for c in cycles)
 
 
 def _worker_body(cluster: "Cluster", worker: WorkerCore, kernel: "Kernel",
-                 sub: "WorkSlice", n: int) -> typing.Generator:
+                 sub: "WorkSlice", n: int,
+                 timing: "typing.Optional[KernelTiming]"
+                 ) -> typing.Generator:
     """One spawned worker core: compute, then meet at the barrier.
 
     The reference compute-phase body, used when ``REPRO_NAIVE_BARRIER``
     disables the closed-form crossing.
     """
-    yield from worker.compute(kernel, sub, n)
+    yield from worker.compute(kernel, sub, n, timing)
     yield from cluster.barrier.wait()
 
 
@@ -74,6 +86,7 @@ class Cluster:
                  dma_setup_cycles: int = 8,
                  barrier_latency: int = 2,
                  worker_wake_latency: int = 2,
+                 tile: "typing.Optional[ResolvedTile]" = None,
                  trace: typing.Optional[TraceRecorder] = None) -> None:
         if num_workers <= 0:
             raise ConfigError(
@@ -91,6 +104,9 @@ class Cluster:
         self.fabric_barrier = fabric_barrier
         self.wake_latency = wake_latency
         self.dm_decode_cycles = dm_decode_cycles
+        #: The resolved tile spec this cluster was built from (``None``
+        #: for hand-built clusters, which behave as the default class).
+        self.tile = tile
         self.trace = (trace if trace is not None
                       else TraceRecorder(sim, enabled=False))
         self.dma = DmaEngine(
@@ -125,11 +141,12 @@ class Cluster:
         identical cycle with identical event ordering.
         """
         if flags.naive_barrier():
+            timing = self.compute_timing(kernel)
             sub_slices = split_among_cores(work, len(self.workers))
             label = f"cluster{self.cluster_id}"
             for worker, sub in zip(self.workers, sub_slices):
                 self.sim.spawn(
-                    _worker_body(self, worker, kernel, sub, n),
+                    _worker_body(self, worker, kernel, sub, n, timing),
                     name=f"{label}.core{worker.core_id}{name_suffix}",
                 )
             yield from self.barrier.wait()
@@ -146,7 +163,8 @@ class Cluster:
         ``REPRO_NAIVE_BARRIER`` themselves.
         """
         cycles = _phase_core_cycles(
-            kernel, work.elements, len(self.workers), n)
+            kernel, work.elements, len(self.workers), n,
+            self.compute_timing(kernel))
         last = 0
         for worker, worker_cycles in zip(self.workers, cycles):
             worker.jobs_executed += 1
@@ -156,6 +174,19 @@ class Cluster:
                 last = delay
         self.ff_compute_phases += 1
         return self.barrier.cross_all_known(last)
+
+    def compute_timing(self, kernel: "Kernel"
+                       ) -> "typing.Optional[KernelTiming]":
+        """This tile's per-core rate for ``kernel``, or ``None``.
+
+        ``None`` means "use the kernel's own timing" — the default
+        class and hand-built clusters, preserving bit-identity with the
+        homogeneous fabric.  Rated tile classes must rate every kernel
+        they run (``ConfigError`` otherwise, raised by the tile spec).
+        """
+        if self.tile is None:
+            return None
+        return self.tile.timing_for(kernel.name)
 
     def start(self):
         """Spawn the DM core's job-serving loop (idempotent)."""

@@ -14,7 +14,7 @@ import functools
 import typing
 
 from repro.errors import ConfigError
-from repro.kernels.base import Kernel, WorkSlice, split_range
+from repro.kernels.base import Kernel, KernelTiming, WorkSlice, split_range
 from repro.sim import Simulator
 
 
@@ -32,22 +32,29 @@ class WorkerCore:
         self.jobs_executed = 0
         self.busy_cycles = 0
 
-    def charge(self, kernel: Kernel, sub_slice: WorkSlice, n: int) -> int:
+    def charge(self, kernel: Kernel, sub_slice: WorkSlice, n: int,
+               timing: typing.Optional[KernelTiming] = None) -> int:
         """Charge one compute phase's statistics and return the delay
         (wake plus loop cycles) until this core meets the barrier.
 
         The analytic twin of :meth:`compute`: the compute-phase
         fast-forward charges every core up front and resolves the phase
         to the maximum returned delay instead of parking one process
-        per core.
+        per core.  ``timing`` overrides the kernel's own per-core rate
+        (a heterogeneous tile class's rate table); ``None`` keeps the
+        kernel timing, which is the default-class path.
         """
-        cycles = kernel.compute_cycles(sub_slice.elements, n)
+        if timing is None:
+            cycles = kernel.compute_cycles(sub_slice.elements, n)
+        else:
+            cycles = timing.cycles(sub_slice.elements)
         self.jobs_executed += 1
         self.busy_cycles += cycles
         return self.wake_latency + cycles
 
-    def compute(self, kernel: Kernel, sub_slice: WorkSlice,
-                n: int) -> typing.Generator:
+    def compute(self, kernel: Kernel, sub_slice: WorkSlice, n: int,
+                timing: typing.Optional[KernelTiming] = None
+                ) -> typing.Generator:
         """Run the kernel's loop over ``sub_slice`` (timing only).
 
         Empty sub-slices still pay the wake latency (the core is
@@ -57,7 +64,7 @@ class WorkerCore:
         # resumes at the identical cycle, and nothing can observe the
         # intermediate wake instant (the core touches no shared
         # resource between waking and finishing its loop).
-        delay = self.charge(kernel, sub_slice, n)
+        delay = self.charge(kernel, sub_slice, n, timing)
         if delay:
             yield delay
 

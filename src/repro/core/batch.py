@@ -89,7 +89,7 @@ import numpy
 from repro import flags
 from repro.core.cache import calibration_key
 from repro.core.sweep import SweepPoint
-from repro.errors import KernelError, OffloadError
+from repro.errors import ConfigError, KernelError, OffloadError
 from repro.kernels.base import Kernel, split_range
 from repro.kernels.registry import get_kernel
 from repro.runtime.strategies import (
@@ -107,6 +107,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.cache import SweepCache
     from repro.runtime.trace import OffloadTrace
     from repro.soc.pool import SystemPool
+    from repro.soc.tiles import ResolvedTile
 
 #: Main-memory slack the conservative fit check keeps free: descriptor
 #: slot (8 words minimum, 64-byte aligned), completion flag, and
@@ -315,22 +316,32 @@ def resolve_spec(config: SoCConfig,
 
 
 def point_provable(config: SoCConfig, kernel: Kernel, n: int, m: int,
-                   scalars: typing.Mapping[str, float]) -> bool:
+                   scalars: typing.Mapping[str, float],
+                   tile: typing.Optional["ResolvedTile"] = None) -> bool:
     """Whether one (N, M) point's tail is safely predictable.
 
     Refuses anything whose event-engine run would raise (invalid shape,
-    TCDM or main-memory overflow — the event path must own the error)
-    and any slice shape the DMA-chain algebra cannot order (zero-byte
-    transfers skip the channel reservation entirely, changing the
-    arbitration order the closed form assumes).
+    TCDM or main-memory overflow, a tile class without a rate for this
+    kernel — the event path must own the error) and any slice shape the
+    DMA-chain algebra cannot order (zero-byte transfers skip the
+    channel reservation entirely, changing the arbitration order the
+    closed form assumes).  ``tile`` is the resolved tile the point runs
+    on; ``None`` reads the homogeneous config knobs directly.
     """
     try:
         kernel.validate(n, scalars)
         slices = split_range(n, m)
     except KernelError:
         return False
+    tcdm_bytes = config.tcdm_bytes
+    if tile is not None:
+        tcdm_bytes = tile.tcdm_bytes
+        try:
+            tile.timing_for(kernel.name)
+        except ConfigError:
+            return False
     largest = slices[0]
-    if kernel.slice_tcdm_bytes(largest.lo, largest.hi, n) > config.tcdm_bytes:
+    if kernel.slice_tcdm_bytes(largest.lo, largest.hi, n) > tcdm_bytes:
         return False
     staged = sum(8 * kernel.input_length(name, n)
                  for name in kernel.input_names)
@@ -349,15 +360,16 @@ def point_provable(config: SoCConfig, kernel: Kernel, n: int, m: int,
     return True
 
 
-def extract_prefix(config: SoCConfig, trace: "OffloadTrace",
-                   m: int) -> typing.Optional[_Prefix]:
+def extract_prefix(config: SoCConfig, trace: "OffloadTrace", m: int,
+                   first: int = 0) -> typing.Optional[_Prefix]:
     """Pull the N-independent prefix out of a calibration trace.
 
-    ``None`` if the trace does not show the full ``0..M-1`` cluster
-    range the algebra assumes (``first_cluster != 0`` launches, partial
-    doorbell delivery).
+    ``None`` if the trace does not show the contiguous
+    ``first..first+M-1`` cluster range the algebra assumes (partial
+    doorbell delivery, a launch outside the expected tile group).
     """
-    if [c.cluster_id for c in trace.clusters] != list(range(m)):
+    if [c.cluster_id for c in trace.clusters] != list(range(first,
+                                                           first + m)):
         return None
     release = (max(c.decoded for c in trace.clusters)
                + config.fabric_barrier_arrival_latency
@@ -369,15 +381,35 @@ def extract_prefix(config: SoCConfig, trace: "OffloadTrace",
 
 
 def predict_point(config: SoCConfig, kernel: Kernel, spec: VariantSpec,
-                  prefix: _Prefix, n: int,
-                  m: int) -> typing.Optional[_Prediction]:
+                  prefix: _Prefix, n: int, m: int,
+                  tile: typing.Optional["ResolvedTile"] = None,
+                  ) -> typing.Optional[_Prediction]:
     """Time one grid point with the closed-form tail algebra.
 
     Returns ``None`` when the completion schedule is ambiguous against
     the host's observation (same-cycle races the event engine resolves
     through queue internals the algebra does not model); callers fall
     such points back to the event engine.
+
+    ``tile`` supplies the per-tile-class knobs (core count, DMA setup,
+    wake/barrier latencies, kernel compute rates); ``None`` reads the
+    homogeneous config knobs, the pre-fabric behaviour.  Either way the
+    residual check (:func:`matches_trace`) guards the algebra against
+    the event engine, so a knob this form mis-models falls the group
+    back instead of diverging.
     """
+    if tile is None:
+        cores = config.cores_per_cluster
+        dma_setup = config.dma_setup_cycles
+        worker_wake = config.worker_wake_latency
+        barrier = config.barrier_latency
+        timing = None
+    else:
+        cores = tile.cores_per_tile
+        dma_setup = tile.dma_setup_cycles
+        worker_wake = tile.worker_wake_latency
+        barrier = tile.barrier_latency
+        timing = tile.timing_for(kernel.name)
     slices = split_range(n, m)
     elems = numpy.fromiter((s.hi - s.lo for s in slices),
                            dtype=numpy.int64, count=m)
@@ -394,17 +426,20 @@ def predict_point(config: SoCConfig, kernel: Kernel, spec: VariantSpec,
         (kernel.slice_bytes_in(slices[i].lo, slices[i].hi, n) for i in ids),
         dtype=numpy.int64, count=ids.size)
     read_cycles = -(-b_in // config.mem_read_width_bytes)
-    din = (release + config.dma_setup_cycles + numpy.cumsum(read_cycles))
+    din = (release + dma_setup + numpy.cumsum(read_cycles))
 
     # Compute: the barrier's closed-form crossing.  Per-core counts are
     # q+1 (the first e mod cores workers) and q, so the phase maximum
     # needs at most two vectorized timing evaluations per cluster.
-    q, r = numpy.divmod(elems[ids], config.cores_per_cluster)
-    cyc_lo = kernel.compute_cycles_array(q, n)
-    cyc_hi = kernel.compute_cycles_array(q + 1, n)
+    q, r = numpy.divmod(elems[ids], cores)
+    if timing is None:
+        cyc_lo = kernel.compute_cycles_array(q, n)
+        cyc_hi = kernel.compute_cycles_array(q + 1, n)
+    else:
+        cyc_lo = timing.cycles_array(q)
+        cyc_hi = timing.cycles_array(q + 1)
     phase_max = numpy.where(r > 0, numpy.maximum(cyc_hi, cyc_lo), cyc_lo)
-    compute_done = (din + config.worker_wake_latency + phase_max
-                    + config.barrier_latency)
+    compute_done = din + worker_wake + phase_max + barrier
 
     # Output DMA: reservations commit in (compute_done, cluster_id)
     # order and chain on the otherwise-idle write channel.
@@ -415,7 +450,7 @@ def predict_point(config: SoCConfig, kernel: Kernel, spec: VariantSpec,
     dout = numpy.empty_like(compute_done)
     next_free = 0
     for k in numpy.lexsort((ids, compute_done)):
-        issue = int(compute_done[k]) + config.dma_setup_cycles
+        issue = int(compute_done[k]) + dma_setup
         start = issue if issue > next_free else next_free
         next_free = start + int(write_cycles[k])
         dout[k] = next_free
@@ -495,21 +530,25 @@ def predict_point(config: SoCConfig, kernel: Kernel, spec: VariantSpec,
 
 
 def matches_trace(prediction: _Prediction, trace: "OffloadTrace",
-                  measured: SweepPoint) -> bool:
+                  measured: SweepPoint, first: int = 0) -> bool:
     """Whether a prediction reproduces a measured point exactly.
 
     This is the per-group residual check: evaluated at the calibration
     N, marker for marker.  Any drift between the algebra and the event
     engine — a protocol change, a timing constant moved, an arbitration
     order the proof missed — fails here and falls the group back, so
-    batched numbers can never silently diverge.
+    batched numbers can never silently diverge.  Prediction arrays are
+    group-local (slot 0 = cluster ``first``), so trace cluster ids are
+    rebased before indexing.
     """
     if prediction.point != measured:
         return False
     if prediction.end_cycle != trace.end_cycle:
         return False
     for cluster in trace.clusters:
-        cid = cluster.cluster_id
+        cid = cluster.cluster_id - first
+        if cid < 0 or cid >= len(prediction.completion_signalled):
+            return False
         if prediction.dma_in_done[cid] != cluster.dma_in_done:
             return False
         if prediction.compute_done[cid] != cluster.compute_done:
@@ -569,6 +608,7 @@ class BatchPlanner:
                 seed: int, verify: bool,
                 pending: typing.Sequence[typing.Tuple[int, int, int]],
                 slots: typing.List[typing.Optional[SweepPoint]],
+                tile_group: typing.Optional[str] = None,
                 ) -> typing.List[typing.Tuple[int, int, int]]:
         """Fill predictable ``slots`` entries; return the leftovers.
 
@@ -582,6 +622,14 @@ class BatchPlanner:
         simulation), or a calibration simulation (the PR-7 path, which
         also residual-checks the tail algebra and feeds the store).
         ``REPRO_NAIVE_MPREDICT`` pins every group to the last source.
+
+        ``tile_group`` names the fabric group the sweep targets; the
+        planner then proves and predicts with that group's tile class
+        (its TCDM, core count and kernel rates) and calibrates through
+        ``offload(tile_group=...)``.  Without a group, each offload
+        width M spans clusters ``0..M-1``: a span of one uniform tile
+        class is proved against that class, a mixed span falls back to
+        the event engine point by point.
         """
         from repro.core.staging import resolve_scalars
 
@@ -593,6 +641,10 @@ class BatchPlanner:
         resolved = resolve_scalars(kernel, scalars)
         mpredict = not flags.naive_mpredict()
 
+        group = (config.tile_group(tile_group)
+                 if tile_group is not None else None)
+        first = group.start if group is not None else 0
+
         groups: typing.Dict[int, typing.List[
             typing.Tuple[int, int, int]]] = {}
         for entry in pending:
@@ -601,20 +653,34 @@ class BatchPlanner:
         remaining: typing.List[typing.Tuple[int, int, int]] = []
         provable_by_m: typing.Dict[int, typing.List[
             typing.Tuple[int, int, int]]] = {}
+        tiles_by_m: typing.Dict[int, "ResolvedTile"] = {}
         for m, members in groups.items():
+            tile = (group.tile if group is not None
+                    else config.span_tile(0, m))
+            if tile is None:
+                # Mixed tile classes across clusters 0..M-1: the
+                # per-cluster knobs differ mid-span, which the uniform
+                # tail algebra does not model.
+                self.fallback_points += len(members)
+                remaining.extend(members)
+                continue
             provable = [entry for entry in members
                         if point_provable(config, kernel, entry[1], m,
-                                          resolved)]
+                                          resolved, tile)]
             refused = [entry for entry in members if entry not in provable]
             self.fallback_points += len(refused)
             remaining.extend(refused)
             if provable:
                 provable_by_m[m] = provable
+                tiles_by_m[m] = tile
 
         # The store speaks the *resolved* variant and scalars, so
         # "auto" and the explicit name (or default and explicit
-        # scalars) share calibration entries.
-        store_coords = (config, kernel.name, spec.name, resolved, seed)
+        # scalars) share calibration entries.  The group name joins the
+        # coordinates because one config digest covers every group of a
+        # heterogeneous fabric.
+        store_coords = (config, kernel.name, spec.name, resolved, seed,
+                        tile_group or "")
         prefixes: typing.Dict[int, _Prefix] = {}
         model: typing.Optional[MPrefixModel] = None
         handled: typing.Set[int] = set()
@@ -627,8 +693,8 @@ class BatchPlanner:
             if model is None:
                 model = self._fit_model(
                     config, kernel, spec, store_coords, provable_by_m,
-                    prefixes, handled, variant, scalars, seed, verify,
-                    slots, remaining)
+                    tiles_by_m, first, tile_group, prefixes, handled,
+                    variant, scalars, seed, verify, slots, remaining)
 
         for m, provable in provable_by_m.items():
             if m in handled:
@@ -639,7 +705,8 @@ class BatchPlanner:
             if mpredict and prefix is not None:
                 self.prefixes_predicted += 1
                 remaining.extend(self._predict_group(
-                    config, kernel, spec, prefix, m, provable, slots))
+                    config, kernel, spec, prefix, m, tiles_by_m[m],
+                    provable, slots))
                 continue
             if len(provable) < 2:
                 # A lone provable point gains nothing from calibrating
@@ -648,8 +715,9 @@ class BatchPlanner:
                 remaining.extend(provable)
                 continue
             fallbacks, validated = self._plan_group(
-                config, kernel, spec, m, provable, variant, scalars,
-                seed, verify, slots)
+                config, kernel, spec, m, tiles_by_m[m], first,
+                tile_group, provable, variant, scalars, seed, verify,
+                slots)
             remaining.extend(fallbacks)
             self.prefixes_calibrated += 1
             if mpredict and validated is not None:
@@ -665,7 +733,8 @@ class BatchPlanner:
     def _calibrate(self, config: SoCConfig, kernel_name: str, n: int,
                    m: int, variant: str,
                    scalars: typing.Optional[typing.Mapping[str, float]],
-                   seed: int, verify: bool):
+                   seed: int, verify: bool,
+                   tile_group: typing.Optional[str] = None):
         """One event-engine simulation, keeping the full trace."""
         from repro.core.offload import offload
         from repro.soc.manticore import ManticoreSystem
@@ -674,16 +743,19 @@ class BatchPlanner:
             with self.pool.lease(config) as system:
                 result = offload(system, kernel_name, n, m,
                                  scalars=scalars, variant=variant,
-                                 seed=seed, verify=verify)
+                                 seed=seed, verify=verify,
+                                 tile_group=tile_group)
         else:
             system = ManticoreSystem(config)
             result = offload(system, kernel_name, n, m, scalars=scalars,
-                             variant=variant, seed=seed, verify=verify)
+                             variant=variant, seed=seed, verify=verify,
+                             tile_group=tile_group)
         self.calibration_points += 1
         return result
 
     def _plan_group(self, config: SoCConfig, kernel: Kernel,
-                    spec: VariantSpec, m: int,
+                    spec: VariantSpec, m: int, tile: "ResolvedTile",
+                    first: int, tile_group: typing.Optional[str],
                     members: typing.List[typing.Tuple[int, int, int]],
                     variant: str,
                     scalars: typing.Optional[typing.Mapping[str, float]],
@@ -702,7 +774,7 @@ class BatchPlanner:
         calibration = min(members, key=lambda entry: entry[0])
         cal_index, cal_n, _m = calibration
         result = self._calibrate(config, kernel.name, cal_n, m, variant,
-                                 scalars, seed, verify)
+                                 scalars, seed, verify, tile_group)
         measured = SweepPoint(
             kernel_name=kernel.name, n=cal_n, num_clusters=m,
             variant=result.variant,
@@ -711,19 +783,21 @@ class BatchPlanner:
         slots[cal_index] = measured
         rest = [entry for entry in members if entry is not calibration]
 
-        prefix = (extract_prefix(config, result.trace, m)
+        prefix = (extract_prefix(config, result.trace, m, first)
                   if result.variant == spec.name else None)
-        residual = (predict_point(config, kernel, spec, prefix, cal_n, m)
+        residual = (predict_point(config, kernel, spec, prefix, cal_n, m,
+                                  tile)
                     if prefix is not None else None)
         if residual is None or not matches_trace(residual, result.trace,
-                                                 measured):
+                                                 measured, first):
             self.fallback_points += len(rest)
             return rest, None
 
         fallbacks: typing.List[typing.Tuple[int, int, int]] = []
         for entry in rest:
             index, n, _m = entry
-            prediction = predict_point(config, kernel, spec, prefix, n, m)
+            prediction = predict_point(config, kernel, spec, prefix, n, m,
+                                       tile)
             if prediction is None:
                 self.fallback_points += 1
                 fallbacks.append(entry)
@@ -734,6 +808,7 @@ class BatchPlanner:
 
     def _predict_group(self, config: SoCConfig, kernel: Kernel,
                        spec: VariantSpec, prefix: _Prefix, m: int,
+                       tile: "ResolvedTile",
                        members: typing.List[typing.Tuple[int, int, int]],
                        slots: typing.List[typing.Optional[SweepPoint]],
                        ) -> typing.List[typing.Tuple[int, int, int]]:
@@ -747,7 +822,8 @@ class BatchPlanner:
         fallbacks: typing.List[typing.Tuple[int, int, int]] = []
         for entry in members:
             index, n, _m = entry
-            prediction = predict_point(config, kernel, spec, prefix, n, m)
+            prediction = predict_point(config, kernel, spec, prefix, n, m,
+                                       tile)
             if prediction is None:
                 self.fallback_points += 1
                 fallbacks.append(entry)
@@ -760,6 +836,8 @@ class BatchPlanner:
                    spec: VariantSpec,
                    coords: typing.Tuple, provable_by_m: typing.Dict[
                        int, typing.List[typing.Tuple[int, int, int]]],
+                   tiles_by_m: typing.Dict[int, "ResolvedTile"],
+                   first: int, tile_group: typing.Optional[str],
                    prefixes: typing.Dict[int, _Prefix],
                    handled: typing.Set[int], variant: str,
                    scalars: typing.Optional[typing.Mapping[str, float]],
@@ -796,8 +874,9 @@ class BatchPlanner:
                 anchors[m] = known
                 continue
             fallbacks, validated = self._plan_group(
-                config, kernel, spec, m, provable_by_m[m], variant,
-                scalars, seed, verify, slots)
+                config, kernel, spec, m, tiles_by_m[m], first,
+                tile_group, provable_by_m[m], variant, scalars, seed,
+                verify, slots)
             remaining.extend(fallbacks)
             handled.add(m)
             self.prefixes_calibrated += 1
@@ -823,10 +902,11 @@ class BatchPlanner:
                      m: int) -> typing.Optional[_Prefix]:
         if self.cache is None:
             return None
-        config, kernel_name, variant_name, resolved, seed = coords
+        config, kernel_name, variant_name, resolved, seed, group = coords
         payload = self.cache.get_record(
             calibration_key("prefix", config, kernel_name, variant_name,
-                            resolved, seed, m=m), "prefix")
+                            resolved, seed, m=m, tile_group=group),
+            "prefix")
         prefix = decode_prefix(payload)
         if prefix is None:
             self.store_misses += 1
@@ -838,20 +918,20 @@ class BatchPlanner:
                       prefix: _Prefix) -> None:
         if self.cache is None:
             return
-        config, kernel_name, variant_name, resolved, seed = coords
+        config, kernel_name, variant_name, resolved, seed, group = coords
         self.cache.put_record(
             calibration_key("prefix", config, kernel_name, variant_name,
-                            resolved, seed, m=m),
+                            resolved, seed, m=m, tile_group=group),
             "prefix", encode_prefix(prefix))
 
     def _load_model(self, coords: typing.Tuple
                     ) -> typing.Optional[MPrefixModel]:
         if self.cache is None:
             return None
-        config, kernel_name, variant_name, resolved, seed = coords
+        config, kernel_name, variant_name, resolved, seed, group = coords
         payload = self.cache.get_record(
             calibration_key("mmodel", config, kernel_name, variant_name,
-                            resolved, seed), "mmodel")
+                            resolved, seed, tile_group=group), "mmodel")
         model = decode_mmodel(payload)
         if model is None:
             self.store_misses += 1
@@ -863,8 +943,8 @@ class BatchPlanner:
                      model: MPrefixModel) -> None:
         if self.cache is None:
             return
-        config, kernel_name, variant_name, resolved, seed = coords
+        config, kernel_name, variant_name, resolved, seed, group = coords
         self.cache.put_record(
             calibration_key("mmodel", config, kernel_name, variant_name,
-                            resolved, seed),
+                            resolved, seed, tile_group=group),
             "mmodel", encode_mmodel(model))

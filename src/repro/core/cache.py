@@ -71,13 +71,20 @@ def default_cache_dir() -> str:
 def point_key(config: SoCConfig, kernel_name: str, n: int, m: int,
               variant: str,
               scalars: typing.Optional[typing.Mapping[str, float]],
-              seed: int) -> str:
-    """Content address of one grid point's measurement."""
+              seed: int, tile_group: str = "") -> str:
+    """Content address of one grid point's measurement.
+
+    ``tile_group`` names the fabric group the point ran on (empty for
+    the homogeneous whole-fabric default).  The config digest alone
+    cannot distinguish groups *within* one config, so the group is its
+    own key component — the same (N, M) measured on two groups of one
+    heterogeneous fabric are different measurements.
+    """
     scalar_part = ("" if not scalars else
                    ",".join(f"{k}={scalars[k]!r}" for k in sorted(scalars)))
     text = (f"schema={_SCHEMA};config={config.digest()};"
             f"kernel={kernel_name};n={n};m={m};variant={variant};"
-            f"scalars={scalar_part};seed={seed}")
+            f"scalars={scalar_part};seed={seed};group={tile_group}")
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
@@ -85,7 +92,8 @@ def calibration_key(kind: str, config: SoCConfig, kernel_name: str,
                     variant_name: str,
                     scalars: typing.Optional[typing.Mapping[str, float]],
                     seed: int,
-                    m: typing.Optional[int] = None) -> str:
+                    m: typing.Optional[int] = None,
+                    tile_group: str = "") -> str:
     """Content address of one calibration artifact.
 
     ``kind`` separates the namespaces (``"prefix"`` for one
@@ -94,14 +102,17 @@ def calibration_key(kind: str, config: SoCConfig, kernel_name: str,
     deliberately no N component: prefixes are N-independent, which is
     the whole point of persisting them.  ``variant_name`` must be the
     *resolved* variant (never ``"auto"``), so explicit and
-    feature-resolved requests share entries.
+    feature-resolved requests share entries.  ``tile_group`` keys
+    calibrations per fabric group for the same reason as in
+    :func:`point_key` — a dispatch prefix measured on one group of a
+    heterogeneous fabric says nothing about another group's tiles.
     """
     scalar_part = ("" if not scalars else
                    ",".join(f"{k}={scalars[k]!r}" for k in sorted(scalars)))
     text = (f"calibration={CALIBRATION_SCHEMA};kind={kind};"
             f"config={config.digest()};kernel={kernel_name};"
             f"variant={variant_name};scalars={scalar_part};seed={seed};"
-            f"m={m}")
+            f"m={m};group={tile_group}")
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 

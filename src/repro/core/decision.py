@@ -259,3 +259,133 @@ def decide_offload(model: OffloadModel, host_model: HostExecutionModel,
         offload=(kind == "offload"), num_clusters=m,
         predicted_cycles=cycles, host_cycles=host_cycles,
         predicted_energy=energy, reason=reason)
+
+
+# ----------------------------------------------------------------------
+# Fabric selection: which tile class, and how many of it
+# ----------------------------------------------------------------------
+#: Cost objectives :func:`choose_fabric` can minimize, each mapping a
+#: (option, M) pair to a scalar cost.
+FABRIC_OBJECTIVES: typing.Mapping[str, typing.Callable[
+    ["FabricOption", int], float]] = {
+    "area": lambda option, m: m * option.tile_area_mm2,
+    "power": lambda option, m: m * option.tile_power,
+    "clusters": lambda option, m: float(m),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricOption:
+    """One candidate tile class for the fabric-selection decision.
+
+    Pairs a per-class runtime model (see
+    :func:`repro.core.model.fit_class_models`) with the class's
+    physical cost per tile and the largest group the fabric could
+    host.  Costs default to the Snitch-cluster baseline so a
+    homogeneous option list degenerates to Eq. 3.
+    """
+
+    tile_class: str
+    model: OffloadModel
+    max_clusters: int = 32
+    tile_area_mm2: float = 1.0
+    tile_power: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.max_clusters <= 0:
+            raise DecisionError(
+                f"fabric option {self.tile_class!r}: max_clusters must "
+                f"be positive, got {self.max_clusters}")
+        if self.tile_area_mm2 < 0 or self.tile_power < 0:
+            raise DecisionError(
+                f"fabric option {self.tile_class!r}: tile cost must be "
+                "non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricDecision:
+    """The answer :func:`choose_fabric` returns."""
+
+    #: Winning tile class.
+    tile_class: str
+    #: Minimum cluster count of that class meeting the deadline.
+    num_clusters: int
+    #: Predicted cycles at the chosen (class, M).
+    predicted_cycles: float
+    #: Cost of the chosen deployment under the selected objective.
+    cost: float
+    #: The objective that was minimized (``area``/``power``/``clusters``).
+    objective: str
+    #: Per-class outcome, winners and losers alike, for reports:
+    #: ``{class: "M=3, cost 12.0 mm^2"}`` or ``{class: "infeasible: …"}``.
+    outcomes: typing.Mapping[str, str] = dataclasses.field(
+        default_factory=dict)
+
+    def __str__(self) -> str:
+        return (f"{self.num_clusters}x {self.tile_class} "
+                f"({self.predicted_cycles:.0f} cycles, "
+                f"{self.objective} cost {self.cost:g})")
+
+
+def choose_fabric(options: typing.Sequence[FabricOption], n: int,
+                  t_max: float,
+                  objective: str = "area") -> FabricDecision:
+    """Pick the cheapest (tile class, M) meeting a deadline.
+
+    This is the paper's Eq. 3 inverted *per tile class* and then
+    compared across classes: for each option the minimum feasible M is
+    computed from its own fitted model, its deployment cost is
+    ``M · cost_per_tile`` under ``objective``, and the cheapest
+    feasible deployment wins (ties broken by predicted cycles, then by
+    class name for determinism).
+
+    Raises
+    ------
+    DecisionError
+        If ``options`` is empty, the objective is unknown, two options
+        share a class name, or no class can meet the deadline — the
+        message then names each class's failure.
+    """
+    if not options:
+        raise DecisionError("choose_fabric needs at least one option")
+    cost_of = FABRIC_OBJECTIVES.get(objective)
+    if cost_of is None:
+        raise DecisionError(
+            f"unknown fabric objective {objective!r}; expected one of "
+            f"{sorted(FABRIC_OBJECTIVES)}")
+    seen: typing.Set[str] = set()
+    for option in options:
+        if option.tile_class in seen:
+            raise DecisionError(
+                f"duplicate fabric option for tile class "
+                f"{option.tile_class!r}")
+        seen.add(option.tile_class)
+
+    outcomes: typing.Dict[str, str] = {}
+    feasible: typing.List[typing.Tuple[float, float, str,
+                                       FabricOption, int]] = []
+    for option in options:
+        try:
+            m_min = min_clusters_for_deadline(
+                option.model, n, t_max, option.max_clusters)
+        except DecisionError as exc:
+            outcomes[option.tile_class] = f"infeasible: {exc}"
+            continue
+        cycles = option.model.predict(m_min, n)
+        cost = cost_of(option, m_min)
+        outcomes[option.tile_class] = (
+            f"M={m_min}, {objective} cost {cost:g}, "
+            f"{cycles:.0f} cycles")
+        feasible.append((cost, cycles, option.tile_class, option, m_min))
+
+    if not feasible:
+        detail = "; ".join(
+            f"{name}: {reason}" for name, reason in sorted(outcomes.items()))
+        raise DecisionError(
+            f"no tile class meets {t_max:.0f} cycles for N={n} — {detail}")
+
+    cost, cycles, _name, option, m_min = min(feasible)
+    return FabricDecision(
+        tile_class=option.tile_class, num_clusters=m_min,
+        predicted_cycles=cycles, cost=cost, objective=objective,
+        outcomes=outcomes)

@@ -86,23 +86,27 @@ def drain_run_stats() -> typing.List[typing.Dict[str, typing.Any]]:
 def measure_point(config: SoCConfig, kernel_name: str, n: int, m: int,
                   variant: str,
                   scalars: typing.Optional[typing.Mapping[str, float]],
-                  seed: int, verify: bool, reuse: bool = True) -> SweepPoint:
+                  seed: int, verify: bool, reuse: bool = True,
+                  tile_group: typing.Optional[str] = None) -> SweepPoint:
     """Simulate one grid point on a boot-state SoC and summarize it.
 
     With ``reuse`` (the default) the SoC is leased from the process's
     :class:`~repro.soc.pool.SystemPool` — measurements are bit-identical
     to a fresh construction (property-tested), just cheaper.  Pass
     ``reuse=False`` or set ``REPRO_FRESH_SYSTEMS`` to force fresh
-    construction per point.
+    construction per point.  ``tile_group`` targets one fabric group of
+    a heterogeneous config (see :func:`repro.core.offload.offload`).
     """
     if reuse:
         with _SYSTEM_POOL.lease(config) as system:
             result = offload(system, kernel_name, n, m, scalars=scalars,
-                             variant=variant, seed=seed, verify=verify)
+                             variant=variant, seed=seed, verify=verify,
+                             tile_group=tile_group)
     else:
         system = ManticoreSystem(config)
         result = offload(system, kernel_name, n, m, scalars=scalars,
-                         variant=variant, seed=seed, verify=verify)
+                         variant=variant, seed=seed, verify=verify,
+                         tile_group=tile_group)
     return SweepPoint(
         kernel_name=kernel_name, n=n, num_clusters=m,
         variant=result.variant, runtime_cycles=result.runtime_cycles,
@@ -114,10 +118,12 @@ def _measure_chunk(config: SoCConfig, kernel_name: str,
                    variant: str,
                    scalars: typing.Optional[typing.Mapping[str, float]],
                    seed: int, verify: bool,
-                   reuse: bool = True) -> typing.List[SweepPoint]:
+                   reuse: bool = True,
+                   tile_group: typing.Optional[str] = None
+                   ) -> typing.List[SweepPoint]:
     """Worker-process entry point: simulate a chunk of (N, M) coords."""
     return [measure_point(config, kernel_name, n, m, variant, scalars,
-                          seed, verify, reuse=reuse)
+                          seed, verify, reuse=reuse, tile_group=tile_group)
             for n, m in coords]
 
 
@@ -199,14 +205,28 @@ class SweepExecutor:
             scalars: typing.Optional[typing.Mapping[str, float]] = None,
             seed: int = 0, verify: bool = True,
             progress: typing.Optional[
-                typing.Callable[[SweepPoint], None]] = None) -> SweepResult:
+                typing.Callable[[SweepPoint], None]] = None,
+            tile_group: typing.Optional[str] = None) -> SweepResult:
         """Measure the grid; same contract as :func:`repro.core.sweep.sweep`."""
         if not n_values or not m_values:
             raise OffloadError("sweep needs at least one N and one M value")
-        bad = [m for m in m_values if m > config.num_clusters]
-        if bad:
-            raise OffloadError(
-                f"m_values {bad} exceed the fabric size {config.num_clusters}")
+        if tile_group is not None:
+            group = config.tile_group(tile_group)
+            bad = [m for m in m_values if m > group.count]
+            if bad:
+                raise OffloadError(
+                    f"m_values {bad} exceed tile group {tile_group!r}, "
+                    f"which has {group.count} {group.tile.class_name!r} "
+                    "tiles")
+            tile_class = group.tile.class_name
+        else:
+            bad = [m for m in m_values if m > config.num_clusters]
+            if bad:
+                raise OffloadError(
+                    f"m_values {bad} exceed the fabric size "
+                    f"{config.num_clusters}")
+            classes = {g.tile.class_name for g in config.groups()}
+            tile_class = classes.pop() if len(classes) == 1 else "mixed"
         self.cache_hits = 0
         self.cache_misses = 0
         self.simulated_points = 0
@@ -234,7 +254,7 @@ class SweepExecutor:
         for index, (n, m) in enumerate(coords):
             if self.cache is not None:
                 key = point_key(config, kernel_name, n, m, variant,
-                                scalars, seed)
+                                scalars, seed, tile_group=tile_group or "")
                 keys[index] = key
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -271,7 +291,7 @@ class SweepExecutor:
                                        cache=self.cache)
                 remaining = planner.consume(
                     config, kernel_name, variant, scalars, seed, verify,
-                    pending, slots)
+                    pending, slots, tile_group=tile_group)
                 self.simulated_points += planner.calibration_points
                 self.planned_points = planner.planned_points
                 self.batch_fallback_points = planner.fallback_points
@@ -286,11 +306,11 @@ class SweepExecutor:
                 if self.jobs == 1 or len(remaining) == 1:
                     self._run_serial(remaining, slots, config, kernel_name,
                                      variant, scalars, seed, verify,
-                                     emit_ready)
+                                     emit_ready, tile_group)
                 else:
                     self._run_parallel(remaining, slots, config, kernel_name,
                                        variant, scalars, seed, verify,
-                                       emit_ready)
+                                       emit_ready, tile_group)
             if self.cache is not None:
                 for index, _n, _m in pending:
                     self.cache.put(keys[index], slots[index])
@@ -299,7 +319,7 @@ class SweepExecutor:
                      if self.cache is not None else 0)
         self.last_run_stats = self._collect_stats(
             len(coords), time.perf_counter() - started, pool_before,
-            evictions)
+            evictions, tile_group, tile_class)
         if _LOG_RUN_STATS:
             _RUN_STATS_LOG.append(self.last_run_stats)
         points = typing.cast(typing.List[SweepPoint], slots)
@@ -307,7 +327,9 @@ class SweepExecutor:
 
     def _collect_stats(self, total_points: int, elapsed: float,
                        pool_before: typing.Tuple[int, int, int, int, int],
-                       cache_evictions: int
+                       cache_evictions: int,
+                       tile_group: typing.Optional[str] = None,
+                       tile_class: str = "snitch"
                        ) -> typing.Dict[str, typing.Any]:
         """Summarize one :meth:`run` for the ``--stats`` reporting path.
 
@@ -320,6 +342,8 @@ class SweepExecutor:
         predictable = self.planned_points + self.batch_fallback_points
         return {
             "points": total_points,
+            "tile_group": tile_group,
+            "tile_class": tile_class,
             "elapsed_seconds": elapsed,
             "points_per_second": (total_points / elapsed if elapsed > 0
                                   else float("inf")),
@@ -348,16 +372,19 @@ class SweepExecutor:
     # Execution strategies
     # ------------------------------------------------------------------
     def _run_serial(self, pending, slots, config, kernel_name, variant,
-                    scalars, seed, verify, emit_ready) -> None:
+                    scalars, seed, verify, emit_ready,
+                    tile_group=None) -> None:
         for index, n, m in pending:
             slots[index] = measure_point(config, kernel_name, n, m,
                                          variant, scalars, seed, verify,
-                                         reuse=self.reuse)
+                                         reuse=self.reuse,
+                                         tile_group=tile_group)
             self.simulated_points += 1
             emit_ready()
 
     def _run_parallel(self, pending, slots, config, kernel_name, variant,
-                      scalars, seed, verify, emit_ready) -> None:
+                      scalars, seed, verify, emit_ready,
+                      tile_group=None) -> None:
         workers = min(self.jobs, len(pending))
         chunk = self.chunk_size
         if chunk is None:
@@ -369,7 +396,8 @@ class SweepExecutor:
             futures = {
                 pool.submit(_measure_chunk, config, kernel_name,
                             [(n, m) for _i, n, m in part], variant,
-                            scalars, seed, verify, self.reuse): part
+                            scalars, seed, verify, self.reuse,
+                            tile_group): part
                 for part in chunks
             }
             for future in concurrent.futures.as_completed(futures):

@@ -184,3 +184,60 @@ class OffloadModel:
 PAPER_DAXPY_MODEL = OffloadModel(
     t0=367.0, mem_coeff=0.25, compute_coeff=2.6 / 8, dispatch_coeff=0.0,
     label="paper Eq. 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class TileClassModel:
+    """Eq. 1 re-fitted for one tile class of a heterogeneous fabric.
+
+    The model family is unchanged — a tile class alters the
+    *coefficients* (its compute rates move ``c``, its dispatch/wake
+    latencies move ``t0`` and ``d``), not the structure, so each class
+    gets its own least-squares fit over a sweep of its own group.
+    ``mape_percent`` is the in-sample Eq. 2 error of that fit, the same
+    metric the paper reports for the homogeneous model.
+    """
+
+    tile_class: str
+    model: OffloadModel
+    num_points: int
+    mape_percent: float
+
+    def describe(self) -> str:
+        return (f"{self.tile_class}: {self.model.describe()}  "
+                f"(MAPE {self.mape_percent:.2f} % over "
+                f"{self.num_points} points)")
+
+
+def fit_class_models(
+    measurements_by_class: typing.Mapping[
+        str, typing.Sequence[typing.Tuple[int, int, float]]],
+    include_dispatch_term: bool = False,
+) -> typing.Dict[str, TileClassModel]:
+    """Fit one :class:`OffloadModel` per tile class.
+
+    ``measurements_by_class`` maps a tile class name to its ``(M, N,
+    cycles)`` triples (one per-group sweep each, e.g. via
+    :meth:`~repro.core.sweep.SweepResult.triples`).  Raises
+    :class:`~repro.errors.ModelError` naming the class whose
+    measurements cannot be fitted.
+    """
+    fitted: typing.Dict[str, TileClassModel] = {}
+    for tile_class, triples in measurements_by_class.items():
+        triples = list(triples)
+        try:
+            model = OffloadModel.fit(
+                triples, include_dispatch_term=include_dispatch_term,
+                label=f"fitted[{tile_class}]")
+        except ModelError as exc:
+            raise ModelError(
+                f"tile class {tile_class!r}: {exc}") from exc
+        actual = numpy.array([t for _m, _n, t in triples], dtype=float)
+        predicted = numpy.array(
+            [model.predict(m, n) for m, n, _t in triples])
+        error = float(100.0 * numpy.mean(
+            numpy.abs(actual - predicted) / actual))
+        fitted[tile_class] = TileClassModel(
+            tile_class=tile_class, model=model,
+            num_points=len(triples), mape_percent=error)
+    return fitted

@@ -53,6 +53,9 @@ class OffloadResult:
     outputs: typing.Mapping[str, numpy.ndarray]
     trace: OffloadTrace
     verified: typing.Optional[bool]
+    #: Fabric group the job ran on (``None`` = the whole fabric from
+    #: cluster 0, the homogeneous default).
+    tile_group: typing.Optional[str] = None
 
     def __str__(self) -> str:
         return (f"{self.kernel_name}(n={self.n}) on {self.num_clusters} "
@@ -65,7 +68,8 @@ def offload(system: ManticoreSystem, kernel_name: str, n: int,
             inputs: typing.Optional[typing.Mapping[str, numpy.ndarray]] = None,
             variant: str = "auto", exec_mode: str = "phased", seed: int = 0,
             verify: bool = True,
-            max_cycles: int = DEFAULT_MAX_CYCLES) -> OffloadResult:
+            max_cycles: int = DEFAULT_MAX_CYCLES,
+            tile_group: typing.Optional[str] = None) -> OffloadResult:
     """Offload one job and return the measured result.
 
     Parameters
@@ -94,11 +98,30 @@ def offload(system: ManticoreSystem, kernel_name: str, n: int,
         :class:`OffloadError` on mismatch.
     max_cycles:
         Abort if the simulation exceeds this cycle count.
+    tile_group:
+        Name of the fabric group to run on (see
+        :meth:`~repro.soc.config.SoCConfig.tile_group`); the job
+        targets clusters ``[group.start, group.start + M)`` and ``M``
+        is bounded by the group's tile count.  ``None`` (the default)
+        targets the fabric from cluster 0 — the homogeneous behaviour.
     """
     runtime = make_runtime(system, variant)
+    first_cluster = 0
+    if tile_group is not None:
+        group = system.config.tile_group(tile_group)
+        if num_clusters > group.count:
+            raise OffloadError(
+                f"cannot offload to {num_clusters} clusters in tile group "
+                f"{tile_group!r}, which has {group.count} "
+                f"{group.tile.class_name!r} tiles")
+        # Surface a missing kernel rate as a ConfigError naming the
+        # class *before* any simulation state is touched.
+        group.tile.timing_for(kernel_name)
+        first_cluster = group.start
     binding = JobBinding.bind(system, runtime, kernel_name, n, num_clusters,
                               scalars=scalars, inputs=inputs, seed=seed,
-                              exec_mode=exec_mode)
+                              exec_mode=exec_mode,
+                              first_cluster=first_cluster)
 
     result_box: typing.Dict[str, int] = {}
     program = runtime.offload_program(binding.desc, binding.desc_addr,
@@ -120,7 +143,8 @@ def offload(system: ManticoreSystem, kernel_name: str, n: int,
         runtime_cycles=result_box["end_cycle"] - result_box["start_cycle"],
         start_cycle=result_box["start_cycle"],
         end_cycle=result_box["end_cycle"],
-        outputs=outputs, trace=trace, verified=verified)
+        outputs=outputs, trace=trace, verified=verified,
+        tile_group=tile_group)
 
 
 def offload_daxpy(system: ManticoreSystem, n: int, num_clusters: int,

@@ -50,12 +50,24 @@ EXEC_MODES = {
 # ----------------------------------------------------------------------
 def check_offload_shape(system: ManticoreSystem, kernel: Kernel, n: int,
                         num_clusters: int,
-                        double_buffered: bool = False) -> None:
-    """Validate that a job's widest slice fits the target hardware."""
+                        double_buffered: bool = False,
+                        first_cluster: int = 0) -> None:
+    """Validate that a job's widest slice fits the target hardware.
+
+    ``first_cluster`` selects the fabric span the job runs on (a tile
+    group's start); the TCDM capacity check then binds against the
+    *smallest* scratchpad in the span, which for homogeneous fabrics is
+    exactly the config's ``tcdm_bytes``.
+    """
     config = system.config
     if not 0 < num_clusters <= config.num_clusters:
         raise OffloadError(
             f"cannot offload to {num_clusters} clusters on a "
+            f"{config.num_clusters}-cluster fabric")
+    if first_cluster < 0 or first_cluster + num_clusters > config.num_clusters:
+        raise OffloadError(
+            f"cannot offload to clusters [{first_cluster}, "
+            f"{first_cluster + num_clusters}) on a "
             f"{config.num_clusters}-cluster fabric")
     largest = split_range(n, num_clusters)[0]
     footprint = kernel.slice_tcdm_bytes(largest.lo, largest.hi, n)
@@ -63,11 +75,12 @@ def check_offload_shape(system: ManticoreSystem, kernel: Kernel, n: int,
         # Chunking divides the working set, so a whole slice never has
         # to fit; the device runtime re-checks its chosen chunk pair.
         return
-    if footprint > config.tcdm_bytes:
+    available = config.min_tcdm_bytes(first_cluster, num_clusters)
+    if footprint > available:
         raise OffloadError(
             f"{kernel.name}(n={n}) on {num_clusters} clusters needs "
             f"{footprint} bytes of TCDM per cluster but only "
-            f"{config.tcdm_bytes} are available; increase num_clusters "
+            f"{available} are available; increase num_clusters "
             "or shrink the job (or use exec_mode='double_buffered')")
 
 
@@ -222,7 +235,8 @@ class JobBinding:
                         f"{kernel_name!r} output {name!r} depends on the "
                         "offload shape")
         check_offload_shape(system, kernel, n, num_clusters,
-                            double_buffered=(exec_mode == "double_buffered"))
+                            double_buffered=(exec_mode == "double_buffered"),
+                            first_cluster=first_cluster)
         inputs = prepare_inputs(kernel, n, inputs, seed)
 
         memory = system.memory

@@ -167,7 +167,8 @@ def sweep(config: SoCConfig, kernel_name: str,
           seed: int = 0, verify: bool = True,
           progress: typing.Optional[typing.Callable[[SweepPoint], None]] = None,
           jobs: int = 1, cache: typing.Optional["SweepCache"] = None,
-          reuse: bool = True) -> SweepResult:
+          reuse: bool = True,
+          tile_group: typing.Optional[str] = None) -> SweepResult:
     """Measure a full (N, M) grid, one boot-state SoC per point.
 
     Every grid point is independent, so execution can fan out over
@@ -197,10 +198,15 @@ def sweep(config: SoCConfig, kernel_name: str,
         :class:`~repro.soc.pool.SystemPool` (default) instead of
         constructing one per point; measurements are bit-identical
         either way.  ``REPRO_FRESH_SYSTEMS`` overrides to fresh.
+    tile_group:
+        Name of the fabric group to sweep over (heterogeneous fabrics);
+        every ``m`` must fit within that group's tile count.  ``None``
+        sweeps the fabric from cluster 0, the homogeneous behaviour.
     """
     from repro.core.executor import SweepExecutor
 
     executor = SweepExecutor(jobs=jobs, cache=cache, reuse=reuse)
     return executor.run(config, kernel_name, n_values, m_values,
                         variant=variant, scalars=scalars, seed=seed,
-                        verify=verify, progress=progress)
+                        verify=verify, progress=progress,
+                        tile_group=tile_group)

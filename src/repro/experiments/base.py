@@ -94,14 +94,22 @@ def _csv_cell(value: typing.Any) -> str:
     return str(value)
 
 
-def usable_ms(m_values: typing.Sequence[int],
-              config: SoCConfig) -> typing.List[int]:
-    """Drop M values wider than the fabric (CLI runs with small fabrics)."""
-    usable = [m for m in m_values if m <= config.num_clusters]
+def usable_ms(m_values: typing.Sequence[int], config: SoCConfig,
+              tile_group: typing.Optional[str] = None) -> typing.List[int]:
+    """Drop M values wider than the fabric (CLI runs with small fabrics).
+
+    With ``tile_group``, the bound is that group's tile count instead
+    of the whole fabric — per-class sweeps on heterogeneous configs.
+    """
+    if tile_group is None:
+        limit, what = config.num_clusters, "-cluster fabric"
+    else:
+        limit, what = (config.tile_group(tile_group).count,
+                       f"-tile group {tile_group!r}")
+    usable = [m for m in m_values if m <= limit]
     if not usable:
         raise DecisionError(
-            f"no requested cluster count fits the {config.num_clusters}-"
-            "cluster fabric")
+            f"no requested cluster count fits the {limit}{what}")
     return usable
 
 

@@ -66,16 +66,21 @@ def crossover_experiment(
         kernels: typing.Sequence[str] = ("daxpy", "memcpy", "dot"),
         n_values: typing.Sequence[int] = (16, 32, 64, 128, 256, 512, 1024),
         offload_m: int = 32, max_cycles: int = DEFAULT_MAX_CYCLES,
+        tile_group: typing.Optional[str] = None,
         **config_overrides) -> CrossoverExperiment:
     """Measure host execution and the widest offload across sizes.
 
     ``max_cycles`` bounds each individual measurement (host and
-    offloaded alike).
+    offloaded alike).  ``tile_group`` targets the offloads at one
+    group of a heterogeneous fabric (pass ``fabric=...`` in the
+    overrides) — the crossover point moves per tile class.
     """
     from repro.soc.manticore import ManticoreSystem
 
     config = SoCConfig.extended(**config_overrides)
-    offload_m = min(offload_m, config.num_clusters)
+    limit = (config.num_clusters if tile_group is None
+             else config.tile_group(tile_group).count)
+    offload_m = min(offload_m, limit)
     rows = []
     curves: typing.Dict[str, typing.Dict[int, typing.Tuple[int, int]]] = {}
     for kernel in kernels:
@@ -85,7 +90,7 @@ def crossover_experiment(
             host = run_on_host(ManticoreSystem(config), kernel, n,
                                max_cycles=max_cycles)
             accel = offload(ManticoreSystem(config), kernel, n, offload_m,
-                            max_cycles=max_cycles)
+                            max_cycles=max_cycles, tile_group=tile_group)
             curve[n] = (host.runtime_cycles, accel.runtime_cycles)
             if crossover is None and accel.runtime_cycles < host.runtime_cycles:
                 crossover = n

@@ -63,18 +63,26 @@ class EnergyExperiment(Experiment):
 
 def energy_experiment(n: int = 1024,
                       m_values: typing.Sequence[int] = PAPER_M_VALUES,
+                      tile_group: typing.Optional[str] = None,
                       **config_overrides) -> EnergyExperiment:
-    """Measure per-offload energy for both designs across M."""
+    """Measure per-offload energy for both designs across M.
+
+    ``tile_group`` targets the offloads at one group of a
+    heterogeneous fabric (pass ``fabric=...`` in the overrides); the
+    meter's per-worker counters follow each tile class's core count.
+    """
     from repro.energy import measure_offload_energy
 
     base_cfg, ext_cfg = paper_configs(**config_overrides)
-    m_values = usable_ms(m_values, base_cfg)
+    m_values = usable_ms(m_values, base_cfg, tile_group)
     baseline_pj, extended_pj = {}, {}
     baseline_cycles, extended_cycles = {}, {}
     for m in m_values:
-        breakdown, cycles = measure_offload_energy(base_cfg, "daxpy", n, m)
+        breakdown, cycles = measure_offload_energy(base_cfg, "daxpy", n, m,
+                                                   tile_group=tile_group)
         baseline_pj[m], baseline_cycles[m] = breakdown.total, cycles
-        breakdown, cycles = measure_offload_energy(ext_cfg, "daxpy", n, m)
+        breakdown, cycles = measure_offload_energy(ext_cfg, "daxpy", n, m,
+                                                   tile_group=tile_group)
         extended_pj[m], extended_cycles[m] = breakdown.total, cycles
     return EnergyExperiment(
         n=n, baseline_pj=baseline_pj, extended_pj=extended_pj,

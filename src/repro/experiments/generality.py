@@ -47,13 +47,20 @@ def kernel_generality(
         kernels: typing.Sequence[str] = GENERALITY_KERNELS,
         n_values: typing.Sequence[int] = PAPER_N_VALUES,
         m_values: typing.Sequence[int] = PAPER_M_VALUES,
-        jobs: int = 1, **config_overrides) -> KernelGenerality:
-    """Fit the model family to every kernel's sweep."""
+        jobs: int = 1, tile_group: typing.Optional[str] = None,
+        **config_overrides) -> KernelGenerality:
+    """Fit the model family to every kernel's sweep.
+
+    ``tile_group`` restricts the sweeps to one group of a
+    heterogeneous fabric (pass ``fabric=...`` in the overrides), so
+    the family's generality can be checked per tile class.
+    """
     config = SoCConfig.extended(**config_overrides)
-    m_values = usable_ms(m_values, config)
+    m_values = usable_ms(m_values, config, tile_group)
     fits = {}
     for kernel in kernels:
-        result = sweep(config, kernel, n_values, m_values, jobs=jobs)
+        result = sweep(config, kernel, n_values, m_values, jobs=jobs,
+                       tile_group=tile_group)
         model = OffloadModel.fit(result.triples(), label=f"fitted {kernel}")
         fits[kernel] = fit_report(model, result.triples())
     return KernelGenerality(fits=fits)

@@ -26,8 +26,21 @@ import dataclasses
 import hashlib
 import typing
 
+from repro import flags
 from repro.errors import ConfigError
 from repro.noc.xbar import NocParams
+from repro.soc.tiles import (
+    INHERITED_FIELDS,
+    ResolvedGroup,
+    ResolvedTile,
+    SNITCH,
+    TileClass,
+    TileGroup,
+)
+
+#: Name of the implicit group a config with no declared fabric resolves
+#: to: one default-class group spanning every cluster.
+IMPLICIT_GROUP_NAME = "clusters"
 
 class _VariantFeatureView(typing.Mapping):
     """Live name → (multicast, hw_sync) view of the variant registry.
@@ -149,6 +162,19 @@ class SoCConfig:
     worker_wake_latency: int = 2
 
     # ------------------------------------------------------------------
+    # Fabric composition (heterogeneous tile groups)
+    # ------------------------------------------------------------------
+    #: Named groups of identical tiles, in cluster-id order; their
+    #: counts must sum to ``num_clusters``.  Empty means the legacy
+    #: homogeneous fabric: one implicit group of the default Snitch
+    #: class spanning every cluster (see :meth:`groups`).
+    fabric: typing.Tuple[TileGroup, ...] = ()
+    #: Optional silicon-area budget (mm^2) the composed fabric must fit.
+    area_budget_mm2: typing.Optional[float] = None
+    #: Optional power budget (mW) the composed fabric must fit.
+    power_budget_mw: typing.Optional[float] = None
+
+    # ------------------------------------------------------------------
     # Presets
     # ------------------------------------------------------------------
     @classmethod
@@ -162,6 +188,26 @@ class SoCConfig:
         """The paper's design: multicast dispatch + sync-unit interrupt."""
         return cls(num_clusters=num_clusters, multicast=True, hw_sync=True,
                    **overrides)
+
+    @classmethod
+    def with_fabric(cls, groups: typing.Iterable[TileGroup],
+                    **overrides) -> "SoCConfig":
+        """A config composed from tile groups.
+
+        ``num_clusters`` is derived from the group counts, so callers
+        declare *what* the fabric is made of and the shape follows.
+        Feature and budget knobs pass through ``overrides``.
+        """
+        fabric = tuple(groups)
+        if "num_clusters" in overrides:
+            raise ConfigError(
+                "with_fabric derives num_clusters from the group counts; "
+                "do not pass it explicitly")
+        if not fabric:
+            raise ConfigError("with_fabric needs at least one tile group")
+        total = sum(group.count for group in fabric
+                    if isinstance(group, TileGroup))
+        return cls(num_clusters=total, fabric=fabric, **overrides)
 
     def with_features(self, multicast: bool, hw_sync: bool) -> "SoCConfig":
         """Copy of this config with the feature pair replaced (ablation)."""
@@ -232,6 +278,194 @@ class SoCConfig:
             raise ConfigError(
                 f"num_clusters={self.num_clusters} exceeds the modeled "
                 "fabric limit (1024)")
+        if not isinstance(self.fabric, tuple):
+            object.__setattr__(self, "fabric", tuple(self.fabric))
+        self._check_fabric()
+
+    def _check_fabric(self) -> None:
+        """Fabric-composition validation: structure first, then budgets.
+
+        Misconfigured fabrics must fail here — at configuration time,
+        naming the offending group/class — never deep inside a
+        simulation.
+        """
+        seen: typing.Set[str] = set()
+        for group in self.fabric:
+            if not isinstance(group, TileGroup):
+                raise ConfigError(
+                    f"SoCConfig.fabric entries must be TileGroup instances, "
+                    f"got {group!r}")
+            if group.name in seen:
+                raise ConfigError(
+                    f"duplicate tile group name {group.name!r} in fabric")
+            seen.add(group.name)
+        if self.fabric:
+            total_tiles = sum(group.count for group in self.fabric)
+            if total_tiles != self.num_clusters:
+                detail = " + ".join(
+                    f"{group.name}:{group.count}" for group in self.fabric)
+                raise ConfigError(
+                    f"fabric declares {total_tiles} tiles ({detail}) but "
+                    f"num_clusters={self.num_clusters}; the group counts "
+                    "must sum to the cluster count")
+        entries = ([(group.name, group.tile) for group in self.fabric]
+                   or [(IMPLICIT_GROUP_NAME, SNITCH)])
+        counts = ([group.count for group in self.fabric]
+                  or [self.num_clusters])
+        if self.area_budget_mm2 is not None:
+            self._check_budget(
+                "area_budget_mm2", self.area_budget_mm2, "mm^2", entries,
+                counts, lambda tile: tile.area_mm2)
+        if self.power_budget_mw is not None:
+            self._check_budget(
+                "power_budget_mw", self.power_budget_mw, "mW", entries,
+                counts, lambda tile: tile.tile_power)
+
+    @staticmethod
+    def _check_budget(budget_name: str, budget: float, unit: str,
+                      entries: typing.List[typing.Tuple[str, TileClass]],
+                      counts: typing.List[int],
+                      cost: typing.Callable[[TileClass], float]) -> None:
+        """Lumos-style composition check: sum of per-tile costs vs budget."""
+        if budget < 0:
+            raise ConfigError(
+                f"SoCConfig.{budget_name} must be >= 0, got {budget}")
+        per_group = [(name, tile, count, count * cost(tile))
+                     for (name, tile), count in zip(entries, counts)]
+        total = sum(subtotal for _n, _t, _c, subtotal in per_group)
+        if total > budget:
+            worst = max(per_group, key=lambda item: item[3])
+            raise ConfigError(
+                f"fabric exceeds {budget_name}: total {total:g} {unit} > "
+                f"budget {budget:g} {unit}; largest contributor is group "
+                f"{worst[0]!r} (class {worst[1].name!r}, {worst[2]} tiles, "
+                f"{worst[3]:g} {unit})")
+
+    # ------------------------------------------------------------------
+    # Fabric resolution
+    # ------------------------------------------------------------------
+    def resolve_tile(self, tile: TileClass) -> ResolvedTile:
+        """Fill every ``None`` (inherited) field from this config's knobs."""
+        values = {
+            field: (getattr(self, knob) if getattr(tile, field) is None
+                    else getattr(tile, field))
+            for field, knob in INHERITED_FIELDS.items()
+        }
+        return ResolvedTile(
+            class_name=tile.name, kernel_rates=tile.kernel_rates,
+            tile_power=tile.tile_power, area_mm2=tile.area_mm2, **values)
+
+    def groups(self) -> typing.Tuple[ResolvedGroup, ...]:
+        """The fabric as resolved groups with placed cluster-id spans.
+
+        A config with no declared fabric resolves to one implicit
+        group (:data:`IMPLICIT_GROUP_NAME`) of the default class
+        spanning every cluster — or, under ``REPRO_EXPLICIT_FABRIC``,
+        to one single-tile default-class group per cluster, which is
+        timing-identical but exercises the per-group construction path
+        (the homogeneous-equivalence A/B).
+
+        Memoized per gate value: resolution is pure given the frozen
+        config and the gate.
+        """
+        explicit = flags.explicit_fabric()
+        cache = getattr(self, "_groups_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_groups_cache", cache)
+        resolved = cache.get(explicit)
+        if resolved is not None:
+            return resolved
+        if self.fabric:
+            groups = []
+            start = 0
+            for group in self.fabric:
+                groups.append(ResolvedGroup(
+                    name=group.name, tile=self.resolve_tile(group.tile),
+                    count=group.count, start=start))
+                start += group.count
+            resolved = tuple(groups)
+        elif explicit:
+            default = self.resolve_tile(SNITCH)
+            resolved = tuple(
+                ResolvedGroup(name=f"tile{index}", tile=default, count=1,
+                              start=index)
+                for index in range(self.num_clusters))
+        else:
+            resolved = (ResolvedGroup(
+                name=IMPLICIT_GROUP_NAME, tile=self.resolve_tile(SNITCH),
+                count=self.num_clusters, start=0),)
+        cache[explicit] = resolved
+        return resolved
+
+    def tile_group(self, name: str) -> ResolvedGroup:
+        """The resolved group called ``name``.
+
+        Raises
+        ------
+        ConfigError
+            On unknown group names, listing what the fabric declares.
+        """
+        groups = self.groups()
+        for group in groups:
+            if group.name == name:
+                return group
+        raise ConfigError(
+            f"unknown tile group {name!r}; this fabric has: "
+            f"{', '.join(group.name for group in groups)}")
+
+    def tile_of(self, cluster_id: int) -> ResolvedTile:
+        """The resolved tile occupying cluster slot ``cluster_id``."""
+        if not 0 <= cluster_id < self.num_clusters:
+            raise ConfigError(
+                f"cluster id {cluster_id} outside fabric "
+                f"[0, {self.num_clusters})")
+        for group in self.groups():
+            if group.start <= cluster_id < group.start + group.count:
+                return group.tile
+        raise ConfigError(  # pragma: no cover - groups() always covers
+            f"cluster id {cluster_id} not covered by any fabric group")
+
+    def span_tile(self, first_cluster: int,
+                  count: int) -> typing.Optional[ResolvedTile]:
+        """The single tile spec shared by ``count`` clusters, or ``None``.
+
+        Returns the resolved tile when every cluster in
+        ``[first_cluster, first_cluster + count)`` resolves to an
+        *equal* tile — even across group boundaries, so N single-tile
+        default groups still present a uniform span.  ``None`` means
+        the span is genuinely heterogeneous (the batch planner then
+        falls back to event simulation for it).
+        """
+        if count < 1 or first_cluster < 0 or (
+                first_cluster + count > self.num_clusters):
+            raise ConfigError(
+                f"invalid cluster span [{first_cluster}, "
+                f"{first_cluster + count}) in a {self.num_clusters}-cluster "
+                "fabric")
+        tiles = {self.tile_of(cluster_id)
+                 for cluster_id in range(first_cluster,
+                                         first_cluster + count)}
+        if len(tiles) == 1:
+            return next(iter(tiles))
+        return None
+
+    def min_tcdm_bytes(self, first_cluster: int, count: int) -> int:
+        """Smallest per-tile scratchpad over a cluster span.
+
+        The staging-footprint check must hold for every participating
+        tile, so the binding constraint is the smallest TCDM in the
+        span (for homogeneous spans this is exactly ``tcdm_bytes``).
+        """
+        if count < 1 or first_cluster < 0 or (
+                first_cluster + count > self.num_clusters):
+            raise ConfigError(
+                f"invalid cluster span [{first_cluster}, "
+                f"{first_cluster + count}) in a {self.num_clusters}-cluster "
+                "fabric")
+        return min(self.tile_of(cluster_id).tcdm_bytes
+                   for cluster_id in range(first_cluster,
+                                           first_cluster + count))
 
     @property
     def total_cores(self) -> int:
@@ -281,5 +515,11 @@ class SoCConfig:
         if self.hw_sync:
             features.append("hw-sync")
         suffix = "+".join(features) if features else "baseline"
-        return (f"{self.num_clusters} clusters x "
+        base = (f"{self.num_clusters} clusters x "
                 f"{self.cores_per_cluster}+1 cores, {suffix}")
+        if self.fabric:
+            composition = " + ".join(
+                f"{group.name}:{group.tile.name}x{group.count}"
+                for group in self.fabric)
+            base += f" [{composition}]"
+        return base

@@ -29,7 +29,7 @@ import typing
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.mailbox import JOB_PTR_OFFSET, Mailbox
-from repro.errors import QuiescenceError
+from repro.errors import ConfigError, QuiescenceError
 from repro.host.cva6 import HostCore
 from repro.host.irq import InterruptController
 from repro.host.lsu import LoadStoreUnit
@@ -112,33 +112,48 @@ class ManticoreSystem:
             self.sim,
             arrival_latency=self.config.fabric_barrier_arrival_latency,
             release_latency=self.config.fabric_barrier_release_latency)
+        # Clusters are built per fabric group: each cluster slot gets
+        # its group's resolved tile spec (worker count, TCDM shape,
+        # dispatch/compute latencies).  Homogeneous configs resolve to
+        # one default-class group whose tile equals the config knobs
+        # exactly, so this loop is bit-identical to the legacy
+        # homogeneous construction.
         self.clusters: typing.List[Cluster] = []
-        for cluster_id in range(self.config.num_clusters):
-            mailbox = Mailbox(self.sim, cluster_id)
-            mailbox.auditor = self.auditor
-            self.address_map.add_device(
-                f"cluster{cluster_id}.periph",
-                CLUSTER_PERIPH_BASE + cluster_id * CLUSTER_PERIPH_STRIDE,
-                CLUSTER_PERIPH_SIZE, mailbox)
-            tcdm = Tcdm(
-                size_bytes=self.config.tcdm_bytes,
-                base=TCDM_BASE + cluster_id * TCDM_STRIDE,
-                num_banks=self.config.tcdm_banks)
-            self.address_map.add(Region(
-                f"cluster{cluster_id}.tcdm", tcdm.base, tcdm.size_bytes, tcdm))
-            cluster = Cluster(
-                self.sim, cluster_id, self.noc, self.memory, tcdm, mailbox,
-                self.read_channel, self.write_channel,
-                fabric_barrier=self.fabric_barrier,
-                num_workers=self.config.cores_per_cluster,
-                wake_latency=self.config.cluster_wake_latency,
-                dm_decode_cycles=self.config.dm_decode_cycles,
-                dma_setup_cycles=self.config.dma_setup_cycles,
-                barrier_latency=self.config.barrier_latency,
-                worker_wake_latency=self.config.worker_wake_latency,
-                trace=self.trace)
-            cluster.start()
-            self.clusters.append(cluster)
+        for group in self.config.groups():
+            tile = group.tile
+            if tile.tcdm_bytes > TCDM_STRIDE:
+                raise ConfigError(
+                    f"tile group {group.name!r} (class {tile.class_name!r}) "
+                    f"declares tcdm_bytes={tile.tcdm_bytes}, which exceeds "
+                    f"the {TCDM_STRIDE}-byte per-cluster TCDM window")
+            for cluster_id in range(group.start, group.start + group.count):
+                mailbox = Mailbox(self.sim, cluster_id)
+                mailbox.auditor = self.auditor
+                self.address_map.add_device(
+                    f"cluster{cluster_id}.periph",
+                    CLUSTER_PERIPH_BASE + cluster_id * CLUSTER_PERIPH_STRIDE,
+                    CLUSTER_PERIPH_SIZE, mailbox)
+                tcdm = Tcdm(
+                    size_bytes=tile.tcdm_bytes,
+                    base=TCDM_BASE + cluster_id * TCDM_STRIDE,
+                    num_banks=tile.tcdm_banks)
+                self.address_map.add(Region(
+                    f"cluster{cluster_id}.tcdm", tcdm.base, tcdm.size_bytes,
+                    tcdm))
+                cluster = Cluster(
+                    self.sim, cluster_id, self.noc, self.memory, tcdm,
+                    mailbox, self.read_channel, self.write_channel,
+                    fabric_barrier=self.fabric_barrier,
+                    num_workers=tile.cores_per_tile,
+                    wake_latency=tile.wake_latency,
+                    dm_decode_cycles=tile.dm_decode_cycles,
+                    dma_setup_cycles=tile.dma_setup_cycles,
+                    barrier_latency=tile.barrier_latency,
+                    worker_wake_latency=tile.worker_wake_latency,
+                    tile=tile,
+                    trace=self.trace)
+                cluster.start()
+                self.clusters.append(cluster)
 
     # ------------------------------------------------------------------
     # Address helpers

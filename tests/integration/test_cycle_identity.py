@@ -80,3 +80,88 @@ def test_concurrent_launch_is_cycle_identical(variant, key):
     assert result.makespan_cycles == GOLDEN[key]["makespan_cycles"]
     assert [job.completed_cycle for job in result.jobs] == \
         GOLDEN[key]["completed_cycles"]
+
+
+# ----------------------------------------------------------------------
+# Heterogeneity refactor A/B: fabrics of the default class must not
+# move a cycle either — same golden numbers, three construction paths.
+# ----------------------------------------------------------------------
+
+def _default_class_fabric(variant):
+    from repro.soc.tiles import SNITCH, TileGroup
+
+    legacy = _CONFIGS[variant]()
+    return SoCConfig.with_fabric(
+        [TileGroup(name="all", tile=SNITCH, count=legacy.num_clusters)],
+        multicast=legacy.multicast, hw_sync=legacy.hw_sync)
+
+
+@pytest.mark.parametrize("variant", ["baseline", "extended"])
+@pytest.mark.parametrize("n", GRID_N)
+def test_default_class_fabric_is_cycle_identical(variant, n):
+    """One explicit SNITCH group ≡ the legacy homogeneous config."""
+    config = _default_class_fabric(variant)
+    golden = GOLDEN["grid"][variant]
+    measured = {
+        m: offload(ManticoreSystem(config), "daxpy", n, m).runtime_cycles
+        for m in GRID_M
+    }
+    assert measured == {m: golden[f"{n}x{m}"] for m in GRID_M}
+
+
+@pytest.mark.parametrize("variant, key", [
+    ("extended", "overlapped"),
+    ("baseline", "overlapped_baseline"),
+])
+def test_default_class_fabric_overlapped_is_cycle_identical(variant, key):
+    config = _default_class_fabric(variant)
+    result = offload_overlapped(ManticoreSystem(config), "daxpy", 2048, 8,
+                                "scale", 512)
+    assert result.total_cycles == GOLDEN[key]["total_cycles"]
+    assert result.exposed_wait_cycles == GOLDEN[key]["exposed_wait_cycles"]
+
+
+@pytest.mark.parametrize("variant, key", [
+    ("extended", "concurrent"),
+    ("baseline", "concurrent_baseline"),
+])
+def test_default_class_fabric_concurrent_is_cycle_identical(variant, key):
+    config = _default_class_fabric(variant)
+    result = offload_concurrent(ManticoreSystem(config), [
+        ConcurrentJob("daxpy", 2048, 8, seed=1),
+        ConcurrentJob("memcpy", 1024, 4, seed=2),
+    ])
+    assert result.makespan_cycles == GOLDEN[key]["makespan_cycles"]
+    assert [job.completed_cycle for job in result.jobs] == \
+        GOLDEN[key]["completed_cycles"]
+
+
+@pytest.mark.parametrize("variant", ["baseline", "extended"])
+def test_explicit_fabric_gate_is_cycle_identical(variant, monkeypatch):
+    """Per-cluster single-tile groups ≡ the implicit homogeneous span."""
+    monkeypatch.setenv("REPRO_EXPLICIT_FABRIC", "1")
+    config = _CONFIGS[variant]()
+    assert len(config.groups()) == config.num_clusters
+    golden = GOLDEN["grid"][variant]
+    measured = {
+        m: offload(ManticoreSystem(config), "daxpy", 2048, m).runtime_cycles
+        for m in GRID_M
+    }
+    assert measured == {m: golden[f"2048x{m}"] for m in GRID_M}
+
+
+def test_snitch_group_of_mixed_fabric_matches_golden():
+    """The snitch span of a heterogeneous fabric stays on the golden
+    numbers: adding OTHER classes to the SoC must not perturb the
+    classes that were already there."""
+    from repro.soc.tiles import SNITCH, VECWIDE, TileGroup
+
+    config = SoCConfig.with_fabric(
+        [TileGroup(name="little", tile=SNITCH, count=8),
+         TileGroup(name="big", tile=VECWIDE, count=24)],
+        multicast=True, hw_sync=True)
+    golden = GOLDEN["grid"]["extended"]
+    for m in (1, 2, 4, 8):
+        result = offload(ManticoreSystem(config), "daxpy", 1024, m,
+                         tile_group="little")
+        assert result.runtime_cycles == golden[f"1024x{m}"]

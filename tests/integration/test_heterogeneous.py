@@ -1,0 +1,114 @@
+"""Heterogeneous-fabric integration: timing, planner, model, identity.
+
+The tentpole claim of the tile-class refactor, end to end on a real
+mixed fabric:
+
+- the two classes genuinely time differently (and cross as N grows),
+- the batch planner keeps engaging *per tile group* instead of
+  falling back to point-by-point simulation,
+- the Eq.-1 model family re-fitted per class stays under the paper's
+  error envelope (MAPE < 5 %, Eq. 2), and
+- the planned fast path is bit-identical to the naive path
+  (``REPRO_NAIVE_BATCH``) on heterogeneous sweeps, grouped or not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import collect_run_stats, drain_run_stats
+from repro.core.model import fit_class_models
+from repro.core.sweep import sweep
+from repro.soc.config import SoCConfig
+from repro.soc.tiles import SNITCH, VECWIDE, TileGroup
+
+
+N_VALUES = (256, 1024, 4096)
+M_VALUES = (1, 2, 4)
+
+
+@pytest.fixture()
+def mixed_config():
+    return SoCConfig.with_fabric(
+        [TileGroup(name="little", tile=SNITCH, count=4),
+         TileGroup(name="big", tile=VECWIDE, count=4)],
+        multicast=True, hw_sync=True)
+
+
+def _group_sweeps(config, **kwargs):
+    little = sweep(config, "daxpy", N_VALUES, M_VALUES,
+                   scalars={"a": 2.0}, tile_group="little", **kwargs)
+    big = sweep(config, "daxpy", N_VALUES, M_VALUES,
+                scalars={"a": 2.0}, tile_group="big", **kwargs)
+    return little, big
+
+
+def test_classes_time_differently_and_cross(mixed_config):
+    little, big = _group_sweeps(mixed_config)
+    cycles = {
+        (p.n, p.num_clusters): p.runtime_cycles for p in little.points}
+    wide = {(p.n, p.num_clusters): p.runtime_cycles for p in big.points}
+    assert cycles != wide
+    # small N: vecwide's heavyweight dispatch front-end loses
+    assert wide[(256, 2)] > cycles[(256, 2)]
+    # large N: its 4x streaming rate wins despite half the cores
+    assert wide[(4096, 2)] < cycles[(4096, 2)]
+
+
+def test_planner_engages_per_tile_class(mixed_config):
+    collect_run_stats()
+    try:
+        _group_sweeps(mixed_config)
+        runs = drain_run_stats()
+    finally:
+        collect_run_stats(False)
+    by_class = {run["tile_class"]: run for run in runs}
+    assert set(by_class) == {"snitch", "vecwide"}
+    for tile_class, run in by_class.items():
+        assert run["planned_points"] > 0, tile_class
+        assert run["batch_fallback_points"] == 0, tile_class
+        assert run["prefixes_calibrated"] > 0, tile_class
+
+
+def test_per_class_mape_under_paper_envelope(mixed_config):
+    little, big = _group_sweeps(mixed_config)
+    fits = fit_class_models({"snitch": little.triples(),
+                             "vecwide": big.triples()})
+    assert fits["snitch"].model.t0 < fits["vecwide"].model.t0
+    assert (fits["vecwide"].model.compute_coeff
+            < fits["snitch"].model.compute_coeff)
+    for tile_class, fit in fits.items():
+        assert fit.mape_percent < 5.0, (tile_class, fit.mape_percent)
+
+
+@pytest.mark.parametrize("tile_group", ["little", "big", None])
+def test_hetero_planned_path_matches_naive(mixed_config, tile_group,
+                                           monkeypatch):
+    """Grouped and ungrouped hetero sweeps: planner ≡ reference."""
+    m_values = M_VALUES if tile_group else (2, 4, 6, 8)
+    planned = sweep(mixed_config, "daxpy", N_VALUES, m_values,
+                    scalars={"a": 2.0}, tile_group=tile_group)
+    monkeypatch.setenv("REPRO_NAIVE_BATCH", "1")
+    naive = sweep(mixed_config, "daxpy", N_VALUES, m_values,
+                  scalars={"a": 2.0}, tile_group=tile_group)
+    assert [(p.n, p.num_clusters, p.runtime_cycles)
+            for p in planned.points] == \
+        [(p.n, p.num_clusters, p.runtime_cycles) for p in naive.points]
+
+
+def test_ungrouped_mixed_sweep_falls_back_only_on_mixed_spans(
+        mixed_config):
+    """m ≤ 4 stays inside the snitch span (plans); m > 4 crosses into
+    the vecwide span (mixed: falls back, still correct)."""
+    collect_run_stats()
+    try:
+        sweep(mixed_config, "daxpy", (256, 1024), (2, 4, 6, 8),
+              scalars={"a": 2.0})
+        (run,) = drain_run_stats()
+    finally:
+        collect_run_stats(False)
+    assert run["tile_class"] == "mixed"
+    assert run["planned_points"] > 0        # uniform spans still plan
+    assert run["batch_fallback_points"] > 0  # mixed spans fall back
+    total = (run["planned_points"] + run["simulated_points"])
+    assert total == run["points"]

@@ -1,0 +1,112 @@
+"""Digest coverage: every config/tile knob must change the cache key.
+
+``SoCConfig.digest()`` is the cache key for the sweep cache, the
+system pool and the persistent calibration store, so a knob that does
+NOT change the digest would silently serve stale timing across
+configurations.  These properties perturb arbitrary fields — of the
+config itself and of any :class:`TileClass` embedded in its fabric —
+and require the digest to move.
+"""
+
+import dataclasses
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.soc.config import SoCConfig
+from repro.soc.tiles import INHERITED_FIELDS, SNITCH, TileClass, TileGroup
+
+
+def _scalar_field_names():
+    names = []
+    for field in dataclasses.fields(SoCConfig):
+        if field.name == "fabric":
+            continue  # perturbed structurally by the TileClass property
+        names.append(field.name)
+    return names
+
+
+def _perturb(value):
+    """A same-type value guaranteed to differ from ``value``."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.0
+    if value is None:  # Optional budgets: install a generous one
+        return 1e9
+    raise AssertionError(f"unhandled field type: {value!r}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(field=st.sampled_from(_scalar_field_names()),
+       extended=st.booleans())
+def test_any_config_field_perturbation_changes_digest(field, extended):
+    base = (SoCConfig.extended(num_clusters=4) if extended
+            else SoCConfig.baseline(num_clusters=4))
+    try:
+        changed = dataclasses.replace(
+            base, **{field: _perturb(getattr(base, field))})
+    except ConfigError:
+        assume(False)  # perturbation violated validation; not a cache key
+    assert changed.digest() != base.digest(), field
+
+
+_TILE_FIELD_VALUES = {
+    # concrete overrides that differ from the extended config's knobs
+    "cores_per_tile": 6,
+    "tcdm_bytes": 1 << 16,
+    "tcdm_banks": 16,
+    "wake_latency": 99,
+    "dm_decode_cycles": 77,
+    "dma_setup_cycles": 55,
+    "barrier_latency": 33,
+    "worker_wake_latency": 11,
+    "tile_power": 42.5,
+    "area_mm2": 2.75,
+}
+
+
+@settings(max_examples=60, deadline=None)
+@given(field=st.sampled_from(sorted(_TILE_FIELD_VALUES)),
+       group_index=st.integers(min_value=0, max_value=1))
+def test_any_tile_class_field_perturbation_changes_digest(field,
+                                                          group_index):
+    """Perturbing one field of one tile class re-keys the whole config."""
+    def fabric_config(custom):
+        groups = [TileGroup(name="a", tile=SNITCH, count=2),
+                  TileGroup(name="b", tile=SNITCH, count=2)]
+        groups[group_index] = dataclasses.replace(
+            groups[group_index], tile=custom)
+        return SoCConfig.with_fabric(groups, multicast=True, hw_sync=True)
+
+    base = fabric_config(TileClass(name="custom"))
+    value = _TILE_FIELD_VALUES[field]
+    changed = fabric_config(TileClass(name="custom", **{field: value}))
+    assert changed.digest() != base.digest(), field
+    # the inherited default must also differ from a concrete override
+    # that happens to EQUAL the inherited value: None vs value is a
+    # representational difference the digest must keep (timing-equal
+    # but differently-resolved configs may diverge under overrides)
+    if field in INHERITED_FIELDS:
+        inherited = getattr(base, INHERITED_FIELDS[field])
+        same_value = fabric_config(
+            TileClass(name="custom", **{field: inherited}))
+        assert same_value.digest() != base.digest(), field
+
+
+def test_kernel_rate_table_feeds_the_digest():
+    def config_for(rates):
+        tile = TileClass(name="custom", kernel_rates=rates)
+        return SoCConfig.with_fabric(
+            [TileGroup(name="g", tile=tile, count=4)],
+            multicast=True, hw_sync=True)
+
+    base = config_for((("daxpy", (40, 13, 20)),))
+    assert config_for(()).digest() != base.digest()
+    assert config_for((("daxpy", (40, 13, 21)),)).digest() != base.digest()
+    assert config_for((("daxpy", (41, 13, 20)),)).digest() != base.digest()
+    assert (config_for((("daxpy", (40, 13, 20)), ("dot", (40, 3, 8))))
+            .digest() != base.digest())

@@ -92,3 +92,21 @@ def test_diag_submodule_allowlist_permits_leaf_imports(tmp_path, capsys):
                         "from repro.sim.event import Event\n"),
     })
     assert checker.main([str(CHECKER), str(root)]) == 0
+
+
+def test_tiles_submodule_allowlist_is_enforced(tmp_path, capsys):
+    # repro.soc.tiles must stay leaf-like: cluster/soc/core all build
+    # on it, so depending on soc.config from it recreates the cycle.
+    root = _fake_tree(tmp_path, {
+        "soc/tiles.py": "from repro.soc.config import SoCConfig\n",
+    })
+    assert checker.main([str(CHECKER), str(root)]) == 1
+    assert "repro.soc.tiles" in capsys.readouterr().out
+
+
+def test_tiles_submodule_allowlist_permits_leaf_imports(tmp_path, capsys):
+    root = _fake_tree(tmp_path, {
+        "soc/tiles.py": ("from repro.errors import ConfigError\n"
+                         "from repro.kernels.base import KernelTiming\n"),
+    })
+    assert checker.main([str(CHECKER), str(root)]) == 0

@@ -94,6 +94,72 @@ def test_report_writes_all_sections(tmp_path):
         assert f"## {section}" in content
 
 
+def _stats_run(tile_class, tile_group, *, points, planned, fallbacks,
+               calibrated):
+    """A synthetic executor stats record with every collected key."""
+    predictable = planned + fallbacks
+    return {
+        "points": points, "tile_group": tile_group,
+        "tile_class": tile_class, "elapsed_seconds": 0.5,
+        "points_per_second": points / 0.5, "cache_hits": 0,
+        "cache_misses": points, "simulated_points": points - planned,
+        "planned_points": planned, "batch_fallback_points": fallbacks,
+        "batch_plan_hit_rate": (planned / predictable if predictable
+                                else 0.0),
+        "prefixes_calibrated": calibrated, "prefixes_predicted": 1,
+        "mmodels_fitted": 1, "holdout_fallbacks": 0,
+        "calibration_store_hits": 0, "calibration_store_misses": 1,
+        "cache_evictions": 0, "pool_hits": 2, "pool_builds": 1,
+        "pool_restores": 2, "pool_dropped": 0, "sim_resumes": 10,
+    }
+
+
+def test_stats_per_tile_class_breakdown(monkeypatch):
+    from repro import cli
+    from repro.core import executor
+
+    runs = [
+        _stats_run("snitch", "little", points=24, planned=20,
+                   fallbacks=0, calibrated=4),
+        _stats_run("vecwide", "big", points=24, planned=10,
+                   fallbacks=10, calibrated=4),
+    ]
+    monkeypatch.setattr(executor, "drain_run_stats", lambda: runs)
+    out = io.StringIO()
+    cli._print_run_stats(out)
+    text = out.getvalue()
+    assert "sweep statistics (2 sweeps):" in text
+    assert "points      48" in text
+    assert "30 planned" in text and "10 fallbacks" in text
+    assert "per tile class:" in text
+    assert ("snitch       1 sweeps, 24 points, 20 planned, 0 fallbacks, "
+            "4 calibrated (engagement 100.0%)") in text
+    assert ("vecwide      1 sweeps, 24 points, 10 planned, 10 fallbacks, "
+            "4 calibrated (engagement 50.0%)") in text
+
+
+def test_stats_mixed_spans_count_as_their_own_class(monkeypatch):
+    from repro import cli
+    from repro.core import executor
+
+    runs = [_stats_run("mixed", None, points=8, planned=0, fallbacks=8,
+                       calibrated=0)]
+    monkeypatch.setattr(executor, "drain_run_stats", lambda: runs)
+    out = io.StringIO()
+    cli._print_run_stats(out)
+    text = out.getvalue()
+    assert ("mixed        1 sweeps, 8 points, 0 planned, 8 fallbacks, "
+            "0 calibrated (engagement 0.0%)") in text
+
+
+def test_fabric_command_selects_classes():
+    code, text = run_cli("fabric", "--clusters", "8")
+    assert code == 0
+    assert "E12" in text
+    assert "snitch" in text and "vecwide" in text
+    assert "Fabric selection" in text
+
+
 def test_unknown_command_exits_nonzero():
     with pytest.raises(SystemExit):
         run_cli("frobnicate")

@@ -165,3 +165,89 @@ def test_decision_dataclass_speedup():
     decision = OffloadDecision(offload=True, num_clusters=4,
                                predicted_cycles=500.0, host_cycles=1000.0)
     assert decision.speedup_vs_host == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# Fabric selection: choose (class, M) under a deadline and budget
+# ----------------------------------------------------------------------
+
+def _fabric_options():
+    from repro.core.decision import FabricOption
+    # slow-but-cheap class vs fast-but-expensive class; curves cross
+    slow = OffloadModel(t0=100, mem_coeff=0.25, compute_coeff=2.0,
+                        label="slow")
+    fast = OffloadModel(t0=600, mem_coeff=0.25, compute_coeff=0.5,
+                        label="fast")
+    return [FabricOption(tile_class="slow", model=slow, max_clusters=8,
+                         tile_area_mm2=1.0, tile_power=25.0),
+            FabricOption(tile_class="fast", model=fast, max_clusters=8,
+                         tile_area_mm2=4.0, tile_power=60.0)]
+
+
+def test_choose_fabric_prefers_cheap_class_when_it_meets_deadline():
+    from repro.core.decision import choose_fabric
+    decision = choose_fabric(_fabric_options(), n=256, t_max=500.0,
+                             objective="area")
+    assert decision.tile_class == "slow"
+    assert decision.cost == decision.num_clusters * 1.0
+    assert decision.predicted_cycles <= 500.0
+    assert "slow" in decision.outcomes and "fast" in decision.outcomes
+
+
+def test_choose_fabric_switches_class_when_deadline_tightens():
+    from repro.core.decision import choose_fabric
+    options = _fabric_options()
+    # At n=8192 the slow class needs > 8 clusters to hit 3500 cycles;
+    # the fast class's lower compute coefficient wins despite its cost.
+    decision = choose_fabric(options, n=8192, t_max=3500.0,
+                             objective="area")
+    assert decision.tile_class == "fast"
+    assert decision.outcomes["slow"].startswith("infeasible")
+
+
+def test_choose_fabric_objectives_change_the_winner():
+    from repro.core.decision import FabricOption, choose_fabric
+    few_hungry = FabricOption(
+        tile_class="hungry",
+        model=OffloadModel(t0=100, mem_coeff=0.0, compute_coeff=0.5),
+        max_clusters=8, tile_area_mm2=1.0, tile_power=100.0)
+    many_frugal = FabricOption(
+        tile_class="frugal",
+        model=OffloadModel(t0=100, mem_coeff=0.0, compute_coeff=2.0),
+        max_clusters=8, tile_area_mm2=1.0, tile_power=10.0)
+    by_power = choose_fabric([few_hungry, many_frugal], n=512,
+                             t_max=400.0, objective="power")
+    by_clusters = choose_fabric([few_hungry, many_frugal], n=512,
+                                t_max=400.0, objective="clusters")
+    assert by_power.tile_class == "frugal"
+    assert by_clusters.tile_class == "hungry"
+
+
+def test_choose_fabric_all_infeasible_reports_every_class():
+    from repro.core.decision import choose_fabric
+    with pytest.raises(DecisionError) as err:
+        choose_fabric(_fabric_options(), n=8192, t_max=50.0,
+                      objective="area")
+    assert "slow" in str(err.value) and "fast" in str(err.value)
+
+
+def test_choose_fabric_input_validation():
+    from repro.core.decision import FabricOption, choose_fabric
+    options = _fabric_options()
+    with pytest.raises(DecisionError, match="at least one"):
+        choose_fabric([], n=64, t_max=100.0)
+    with pytest.raises(DecisionError, match="unknown fabric objective"):
+        choose_fabric(options, n=64, t_max=1000.0, objective="beauty")
+    with pytest.raises(DecisionError, match="duplicate fabric option"):
+        choose_fabric(options + [options[0]], n=64, t_max=1000.0)
+    with pytest.raises(DecisionError, match="max_clusters"):
+        FabricOption(tile_class="x", model=PAPER_DAXPY_MODEL,
+                     max_clusters=0)
+
+
+def test_fabric_decision_str_reads_naturally():
+    from repro.core.decision import choose_fabric
+    decision = choose_fabric(_fabric_options(), n=256, t_max=500.0,
+                             objective="area")
+    text = str(decision)
+    assert "slow" in text and "cycles" in text and "cost" in text

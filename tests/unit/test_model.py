@@ -129,3 +129,36 @@ def test_describe_includes_all_terms():
     assert "367" in text and "N/M" in text and "*M" in text and "[x]" in text
     no_dispatch = PAPER_DAXPY_MODEL.describe()
     assert "*M" not in no_dispatch.replace("N/M", "")
+
+
+# ----------------------------------------------------------------------
+# Per-tile-class model fitting
+# ----------------------------------------------------------------------
+
+def _synthetic_sweep(model, n_values=(256, 512, 1024), m_values=(1, 2, 4)):
+    return [(m, n, model.predict(m, n))
+            for m in m_values for n in n_values]
+
+
+def test_fit_class_models_recovers_each_class():
+    from repro.core.model import fit_class_models
+    slow = OffloadModel(t0=300, mem_coeff=0.25, compute_coeff=0.45)
+    fast = OffloadModel(t0=600, mem_coeff=0.25, compute_coeff=0.28)
+    fits = fit_class_models({"snitch": _synthetic_sweep(slow),
+                             "vecwide": _synthetic_sweep(fast)})
+    assert set(fits) == {"snitch", "vecwide"}
+    assert fits["snitch"].model.t0 == pytest.approx(300, abs=1.0)
+    assert fits["vecwide"].model.compute_coeff == pytest.approx(0.28,
+                                                               abs=0.01)
+    for fit in fits.values():
+        assert fit.mape_percent < 0.1  # noiseless data fits exactly
+        assert fit.num_points == 9
+        assert fit.tile_class in fit.describe()
+        assert "MAPE" in fit.describe()
+
+
+def test_fit_class_models_names_the_failing_class():
+    from repro.core.model import fit_class_models
+    good = _synthetic_sweep(PAPER_DAXPY_MODEL)
+    with pytest.raises(ModelError, match="tile class 'broken'"):
+        fit_class_models({"snitch": good, "broken": good[:2]})

@@ -69,6 +69,14 @@ SUBMODULE_RULES = {
         "repro.sim.process",
         "repro.sim.record",
     },
+    # Tile classes sit at the bottom of the soc layer: cluster, soc and
+    # core all build on them, so the module must stay leaf-like — a
+    # dependency on e.g. soc.config here would recreate the homogeneity
+    # coupling the tile abstraction exists to remove.
+    "repro.soc.tiles": {
+        "repro.errors",
+        "repro.kernels.base",
+    },
 }
 
 
