@@ -9,6 +9,7 @@ Usage::
     repro mape                  # Eq. 2 validation
     repro decision              # Eq. 3 deadline scenarios
     repro fabric                # E12 heterogeneous fabric selection
+    repro traffic               # E13 admission under timestamped traffic
     repro ablation-features     # A1
     repro ablation-dispatch     # A2
     repro kernels               # A3
@@ -57,6 +58,8 @@ _EXPERIMENTS: typing.Dict[str, typing.Tuple[str, typing.Callable]] = {
                "deadline", experiments.fabric_experiment),
     "scheduler": ("E9: placement policies on a fine-grained job stream",
                   experiments.scheduler_experiment),
+    "traffic": ("E13: admission policies under timestamped traffic",
+                experiments.traffic_experiment),
     "concurrency": ("E10: space-shared concurrent jobs vs time sharing",
                     experiments.concurrency_experiment),
     "overlap": ("E11: host work overlapped with an offload",
@@ -98,6 +101,19 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--clusters", type=int, default=32,
                          help="fabric size (default 32)")
         add_jobs_flag(cmd)
+        if name == "traffic":
+            cmd.add_argument("--num-jobs", type=int, default=160,
+                             help="jobs per arrival scenario (default 160)")
+            cmd.add_argument("--tenants", type=int, default=3,
+                             help="tenants sharing the fabric (default 3)")
+            cmd.add_argument("--slack", type=float, default=3.0,
+                             help="deadline = slack x predicted host time "
+                                  "(default 3.0)")
+            cmd.add_argument("--seed", type=int, default=7,
+                             help="scenario seed (default 7)")
+            cmd.add_argument("--csv", metavar="PATH",
+                             help="also write the metrics table to this "
+                                  "file as CSV")
 
     run_all = sub.add_parser("all", help="run every experiment in order")
     run_all.add_argument("--clusters", type=int, default=32)
@@ -215,6 +231,19 @@ def _run_report(args, out: typing.TextIO) -> None:
               f"{args.out}\n")
 
 
+def _run_traffic(args, out: typing.TextIO) -> None:
+    """E13 with its scenario knobs (and optional CSV artifact)."""
+    result = experiments.traffic_experiment(
+        num_jobs=args.num_jobs, tenants=args.tenants,
+        num_clusters=args.clusters, seed=args.seed, slack=args.slack,
+        jobs=args.jobs)
+    out.write(result.render() + "\n")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(result.to_csv())
+        out.write(f"\nmetrics written to {args.csv}\n")
+
+
 def _run_offload(args, out: typing.TextIO) -> None:
     config = SoCConfig.extended(num_clusters=args.fabric)
     if args.variant == "baseline":
@@ -325,6 +354,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
             for name in _EXPERIMENTS:
                 out.write(f"\n=== {name} {'=' * max(0, 60 - len(name))}\n")
                 _run_experiment(name, args.clusters, out, jobs=args.jobs)
+        elif args.command == "traffic":
+            _run_traffic(args, out)
         elif args.command == "offload":
             _run_offload(args, out)
         elif args.command == "sweep":

@@ -64,6 +64,22 @@ class OffloadError(ReproError):
     """An offload request was malformed or could not be serviced."""
 
 
+class WorkloadError(OffloadError):
+    """A job failed mid-stream while executing a workload.
+
+    Subclasses :class:`OffloadError` so existing stream-level handlers
+    keep working; adds the failing job's context on the ``job``,
+    ``job_index`` and ``placement`` attributes, and chains the
+    simulation post-mortem on ``report`` when one was available.
+    """
+
+
+class TrafficError(ReproError):
+    """A traffic-engine request was malformed or could not be serviced
+    (invalid arrival process, over-capacity reservation, or a job
+    whose kernel the platform was never characterized for)."""
+
+
 class ModelError(ReproError):
     """A runtime-model operation failed (fit, prediction, or inversion)."""
 

@@ -79,7 +79,9 @@ def scheduler_experiment(num_jobs: int = 40, seed: int = 7,
     for policy in policies:
         result = run_workload(ManticoreSystem(config), jobs, policy,
                               max_cycles=max_cycles)
-        makespans[policy.name] = result.makespan_cycles
-        offloaded[policy.name] = result.offloaded_jobs
+        # Keyed by the *resolved* name: a clamped fixed-width policy
+        # reports the width that actually ran, not the requested one.
+        makespans[result.policy_name] = result.makespan_cycles
+        offloaded[result.policy_name] = result.offloaded_jobs
     return SchedulerExperiment(num_jobs=num_jobs, makespans=makespans,
                                offloaded=offloaded)

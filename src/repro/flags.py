@@ -37,6 +37,12 @@ variable                  effect
                           the homogeneous-equivalence A/B lever
                           proving fabric composition changes nothing
                           for default-class tiles
+``REPRO_LEGACY_JOB_SEEDS``  ``generate_workload`` derives per-job
+                          input seeds as ``stream seed + index`` (the
+                          historical scheme, under which streams with
+                          adjacent seeds share almost every job seed)
+                          instead of drawing them from a dedicated
+                          per-stream RNG
 ``REPRO_LINEAR_ROUTING``  address maps fall back to the unsorted
                           linear region scan (pre-bisect routing);
                           sampled at map construction time
@@ -119,6 +125,13 @@ NAIVE_MPREDICT_ENV = "REPRO_NAIVE_MPREDICT"
 #: neutral for homogeneous configs.
 EXPLICIT_FABRIC_ENV = "REPRO_EXPLICIT_FABRIC"
 
+#: Environment variable: when set (non-empty), ``generate_workload``
+#: restores the historical ``seed + index`` per-job seed derivation.
+#: That scheme makes neighbouring stream seeds share almost all job
+#: seeds (and every multi-tenant stream overlap), so it exists only as
+#: a compatibility lever for artifacts recorded before the fix.
+LEGACY_JOB_SEEDS_ENV = "REPRO_LEGACY_JOB_SEEDS"
+
 #: Environment variable: when set (non-empty) at map construction time,
 #: ``region_at`` falls back to the unsorted linear scan (and port
 #: routers bypass their hit slots).  Routing is functional, so this is
@@ -150,8 +163,9 @@ STRICT_ENV = "REPRO_STRICT"
 #: that must run with a known-clean environment.
 ALL_GATES = (NAIVE_POLL_ENV, NAIVE_CHANNEL_ENV, NAIVE_BARRIER_ENV,
              NAIVE_SNAPSHOT_ENV, NAIVE_BATCH_ENV, NAIVE_MPREDICT_ENV,
-             EXPLICIT_FABRIC_ENV, LINEAR_ROUTING_ENV, FRESH_SYSTEMS_ENV,
-             CACHE_DIR_ENV, CACHE_MAX_ENTRIES_ENV, STRICT_ENV)
+             EXPLICIT_FABRIC_ENV, LEGACY_JOB_SEEDS_ENV, LINEAR_ROUTING_ENV,
+             FRESH_SYSTEMS_ENV, CACHE_DIR_ENV, CACHE_MAX_ENTRIES_ENV,
+             STRICT_ENV)
 
 
 def _enabled(name: str) -> bool:
@@ -191,6 +205,11 @@ def naive_mpredict() -> bool:
 def explicit_fabric() -> bool:
     """Whether ``REPRO_EXPLICIT_FABRIC`` expands implicit fabrics."""
     return _enabled(EXPLICIT_FABRIC_ENV)
+
+
+def legacy_job_seeds() -> bool:
+    """Whether ``REPRO_LEGACY_JOB_SEEDS`` restores seed+index job seeds."""
+    return _enabled(LEGACY_JOB_SEEDS_ENV)
 
 
 def linear_routing() -> bool:

@@ -1,0 +1,129 @@
+"""Service metrics over a served job stream.
+
+The quantities the multi-tenant story is judged on:
+
+- **deadline-miss rate** — fraction of jobs finishing past their
+  deadline; shed jobs count as misses (nobody served them in time);
+- **sojourn time** — arrival to completion, reported at the median and
+  the 99th percentile (the tail is what deadlines are about);
+- **cluster utilization** — reserved cluster-cycles over the fabric's
+  capacity for the scenario horizon;
+- **Jain's fairness index** over per-tenant deadline *hit* rates:
+  ``J = (Σx)² / (k·Σx²)`` is 1.0 when every tenant gets the same
+  service quality and approaches ``1/k`` when one tenant gets
+  everything.
+
+Percentiles use ``numpy.percentile`` (linear interpolation) over the
+integer sojourns, so the same outcomes always produce bit-identical
+metrics — the determinism gate in CI diffs the resulting CSV bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro.traffic.engine import PLACEMENT_OFFLOAD, TrafficResult
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantMetrics:
+    """One tenant's share of a served stream."""
+
+    tenant: int
+    jobs: int
+    admitted: int
+    shed: int
+    deadline_misses: int
+    p50_sojourn_cycles: float
+    p99_sojourn_cycles: float
+
+    @property
+    def miss_rate(self) -> float:
+        return self.deadline_misses / self.jobs if self.jobs else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficMetrics:
+    """A policy's report card on one arrival scenario."""
+
+    policy_name: str
+    arrival_name: str
+    jobs: int
+    admitted: int
+    shed: int
+    offloaded: int
+    deadline_misses: int
+    p50_sojourn_cycles: float
+    p99_sojourn_cycles: float
+    utilization: float
+    jain_fairness: float
+    per_tenant: typing.Tuple[TenantMetrics, ...]
+
+    @property
+    def miss_rate(self) -> float:
+        return self.deadline_misses / self.jobs if self.jobs else 0.0
+
+
+def _sojourn_percentiles(
+        outcomes: typing.Sequence) -> typing.Tuple[float, float]:
+    sojourns = [o.sojourn_cycles for o in outcomes if o.admitted]
+    if not sojourns:
+        return 0.0, 0.0
+    values = numpy.array(sorted(sojourns), dtype=float)
+    return (float(numpy.percentile(values, 50)),
+            float(numpy.percentile(values, 99)))
+
+
+def jain_index(shares: typing.Sequence[float]) -> float:
+    """``(Σx)² / (k·Σx²)`` — 1.0 is perfectly fair.
+
+    All-zero shares (every tenant equally unserved) count as fair:
+    the index reports *imbalance*, not quality.
+    """
+    if not shares:
+        return 1.0
+    total = float(sum(shares))
+    squares = float(sum(x * x for x in shares))
+    if squares == 0.0:
+        return 1.0
+    return total * total / (len(shares) * squares)
+
+
+def compute_metrics(result: TrafficResult) -> TrafficMetrics:
+    """Aggregate one :class:`~repro.traffic.engine.TrafficResult`."""
+    outcomes = result.outcomes
+    p50, p99 = _sojourn_percentiles(outcomes)
+    tenants = sorted({o.spec.tenant for o in outcomes})
+    per_tenant = []
+    for tenant in tenants:
+        mine = [o for o in outcomes if o.spec.tenant == tenant]
+        t50, t99 = _sojourn_percentiles(mine)
+        per_tenant.append(TenantMetrics(
+            tenant=tenant,
+            jobs=len(mine),
+            admitted=sum(1 for o in mine if o.admitted),
+            shed=sum(1 for o in mine if not o.admitted),
+            deadline_misses=sum(1 for o in mine if o.missed_deadline),
+            p50_sojourn_cycles=t50,
+            p99_sojourn_cycles=t99))
+    return TrafficMetrics(
+        policy_name=result.policy_name,
+        arrival_name=result.arrival_name,
+        jobs=len(outcomes),
+        admitted=sum(1 for o in outcomes if o.admitted),
+        shed=sum(1 for o in outcomes if not o.admitted),
+        offloaded=sum(
+            1 for o in outcomes if o.placement == PLACEMENT_OFFLOAD),
+        deadline_misses=sum(1 for o in outcomes if o.missed_deadline),
+        p50_sojourn_cycles=p50,
+        p99_sojourn_cycles=p99,
+        utilization=result.utilization,
+        jain_fairness=jain_index([t.hit_rate for t in per_tenant]),
+        per_tenant=tuple(per_tenant))

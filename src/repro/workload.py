@@ -26,11 +26,12 @@ import typing
 
 import numpy
 
+from repro import flags
 from repro.core.decision import HostExecutionModel
 from repro.core.model import OffloadModel
 from repro.core.offload import DEFAULT_MAX_CYCLES, offload, run_on_host
 from repro.core.sweep import sweep
-from repro.errors import OffloadError
+from repro.errors import OffloadError, ReproError, WorkloadError
 from repro.kernels.registry import get_kernel
 from repro.soc.config import SoCConfig
 from repro.soc.manticore import ManticoreSystem
@@ -38,13 +39,20 @@ from repro.soc.manticore import ManticoreSystem
 
 @dataclasses.dataclass(frozen=True)
 class JobSpec:
-    """One job in a workload stream."""
+    """One job in a workload stream.
+
+    ``tenant`` and ``arrival_cycle`` carry the traffic layer's
+    annotations (who submitted the job, and when); for the classic
+    back-to-back streams both stay at their zero defaults.
+    """
 
     kernel_name: str
     n: int
     scalars: typing.Mapping[str, float] = dataclasses.field(
         default_factory=dict)
     seed: int = 0
+    tenant: int = 0
+    arrival_cycle: int = 0
 
     def __post_init__(self) -> None:
         kernel = get_kernel(self.kernel_name)
@@ -52,30 +60,58 @@ class JobSpec:
             name: 1.0 for name in kernel.scalar_names}
         object.__setattr__(self, "scalars", scalars)
         kernel.validate(self.n, scalars)
+        if self.tenant < 0:
+            raise OffloadError(f"tenant id must be non-negative, "
+                               f"got {self.tenant}")
+        if self.arrival_cycle < 0:
+            raise OffloadError(f"arrival cycle must be non-negative, "
+                               f"got {self.arrival_cycle}")
+
+
+#: Mixed into the per-stream seed-derivation RNG so job seeds never
+#: collide with the stream seed itself (or with neighbouring streams'
+#: job seeds, which the old ``seed + index`` scheme guaranteed).
+_JOB_SEED_STREAM = 0x6A0B_5EED
 
 
 def generate_workload(num_jobs: int,
                       kernels: typing.Sequence[str] = ("daxpy", "memcpy",
                                                        "scale", "dot"),
                       min_n: int = 16, max_n: int = 4096,
-                      seed: int = 0) -> typing.List[JobSpec]:
+                      seed: int = 0, tenant: int = 0) -> typing.List[JobSpec]:
     """A reproducible stream of jobs with log-uniform sizes.
 
     Log-uniform sizes mirror real fine-grained workloads: most jobs are
     small (where offload overhead hurts) with a heavy tail of large
     ones (where the accelerator shines).
+
+    Per-job input seeds are drawn from a dedicated RNG keyed on
+    ``(seed, stream constant)``, so two streams with different seeds
+    share no job seeds.  (The historical ``seed + index`` derivation
+    made streams with seeds 0 and 1 share almost every job seed; set
+    ``REPRO_LEGACY_JOB_SEEDS`` to restore it for old artifacts.)
+    ``tenant`` tags every job in the stream — callers generating one
+    stream per tenant should vary ``seed`` per tenant too, or the
+    streams will be identical.
     """
     if num_jobs <= 0:
         raise OffloadError(f"workload needs at least one job, got {num_jobs}")
     if not 0 < min_n <= max_n:
         raise OffloadError(f"invalid size range [{min_n}, {max_n}]")
     rng = numpy.random.default_rng(seed)
+    # A separate stream for job seeds keeps the kernel/size draws on
+    # the historical sequence (E9's committed numbers depend on them).
+    seed_rng = numpy.random.default_rng((seed, _JOB_SEED_STREAM))
+    legacy_seeds = flags.legacy_job_seeds()
     jobs = []
     for index in range(num_jobs):
         kernel = str(rng.choice(list(kernels)))
         n = int(numpy.exp(rng.uniform(numpy.log(min_n), numpy.log(max_n))))
         n = max(min_n, min(max_n, n))
-        jobs.append(JobSpec(kernel_name=kernel, n=n, seed=seed + index))
+        job_seed = (seed + index if legacy_seeds
+                    else int(seed_rng.integers(0, 2**63)))
+        jobs.append(JobSpec(kernel_name=kernel, n=n, seed=job_seed,
+                            tenant=tenant))
     return jobs
 
 
@@ -98,6 +134,15 @@ class Policy:
     def place(self, job: JobSpec, fabric_clusters: int) -> Placement:
         raise NotImplementedError
 
+    def resolved_name(self, fabric_clusters: int) -> str:
+        """The policy's name *on this fabric*.
+
+        Policies whose behaviour depends on the fabric (e.g. a fixed
+        offload width clamped to a smaller fabric) override this so
+        result tables attribute measurements to what actually ran.
+        """
+        return self.name
+
 
 class AlwaysHost(Policy):
     """Run everything on the host (the no-accelerator baseline)."""
@@ -109,13 +154,26 @@ class AlwaysHost(Policy):
 
 
 class AlwaysOffload(Policy):
-    """Offload everything at a fixed width."""
+    """Offload everything at a fixed width.
+
+    ``place`` clamps the width to the fabric, so the *effective* width
+    on a small fabric can be narrower than requested —
+    :meth:`resolved_name` reports the width that actually runs (the
+    bare :attr:`name` used to claim the requested width even when every
+    placement was clamped, mislabeling experiment CSVs).
+    """
 
     name = "always_offload"
 
     def __init__(self, num_clusters: int = 32) -> None:
+        if num_clusters <= 0:
+            raise OffloadError(
+                f"offload width must be positive, got {num_clusters}")
         self.num_clusters = num_clusters
         self.name = f"always_offload_{num_clusters}"
+
+    def resolved_name(self, fabric_clusters: int) -> str:
+        return f"always_offload_{min(self.num_clusters, fabric_clusters)}"
 
     def place(self, job: JobSpec, fabric_clusters: int) -> Placement:
         return Placement(offload=True,
@@ -157,12 +215,19 @@ def characterize_platform(
         kernels: typing.Sequence[str],
         n_values: typing.Sequence[int] = (128, 256, 512, 1024),
         m_values: typing.Sequence[int] = (1, 2, 4, 8, 16, 32),
+        jobs: int = 1,
         ) -> ModelDriven:
-    """Fit offload and host models for each kernel (done once, offline)."""
+    """Fit offload and host models for each kernel (done once, offline).
+
+    ``jobs`` fans each kernel's characterization sweep out over worker
+    processes (see :func:`repro.core.sweep.sweep`); the fits are
+    bit-identical to the serial path.
+    """
     m_values = [m for m in m_values if m <= config.num_clusters]
     offload_models, host_models = {}, {}
     for kernel in kernels:
-        grid = sweep(config, kernel, n_values, m_values, verify=False)
+        grid = sweep(config, kernel, n_values, m_values, verify=False,
+                     jobs=jobs)
         offload_models[kernel] = OffloadModel.fit(
             grid.triples(), label=f"platform/{kernel}")
         host_points = []
@@ -214,23 +279,52 @@ def run_workload(system: ManticoreSystem, jobs: typing.Sequence[JobSpec],
 
     ``max_cycles`` bounds each job's simulation individually (host and
     offloaded placements alike), not the whole stream.
+
+    Raises
+    ------
+    WorkloadError
+        If any job fails mid-stream.  The message names the job's
+        index, kernel, size and placement; the failing job is on the
+        ``job`` attribute, the original error is chained as
+        ``__cause__``, and the simulation post-mortem (see
+        :mod:`repro.sim.diag`) rides through on ``report`` when the
+        underlying failure carried one.  The system is left for the
+        caller to audit — a half-run instance is exactly what
+        :meth:`repro.soc.pool.SystemPool.release` quiescence-checks
+        (it drops dirty systems instead of recycling them), so
+        releasing after a failure is safe.
     """
     if not jobs:
         raise OffloadError("empty workload")
     outcomes = []
-    for job in jobs:
+    for index, job in enumerate(jobs):
         placement = policy.place(job, system.config.num_clusters)
-        if placement.offload:
-            result = offload(system, job.kernel_name, job.n,
-                             placement.num_clusters, scalars=job.scalars,
-                             seed=job.seed, verify=verify,
-                             max_cycles=max_cycles)
-            cycles = result.runtime_cycles
-        else:
-            result = run_on_host(system, job.kernel_name, job.n,
-                                 scalars=job.scalars, seed=job.seed,
-                                 verify=verify, max_cycles=max_cycles)
-            cycles = result.runtime_cycles
+        where = (f"{placement.num_clusters} clusters" if placement.offload
+                 else "the host")
+        try:
+            if placement.offload:
+                result = offload(system, job.kernel_name, job.n,
+                                 placement.num_clusters, scalars=job.scalars,
+                                 seed=job.seed, verify=verify,
+                                 max_cycles=max_cycles)
+                cycles = result.runtime_cycles
+            else:
+                result = run_on_host(system, job.kernel_name, job.n,
+                                     scalars=job.scalars, seed=job.seed,
+                                     verify=verify, max_cycles=max_cycles)
+                cycles = result.runtime_cycles
+        except ReproError as err:
+            error = WorkloadError(
+                f"job {index}/{len(jobs)} of policy "
+                f"{policy.resolved_name(system.config.num_clusters)!r} "
+                f"failed: {job.kernel_name}(n={job.n}) on {where}: {err}")
+            error.job = job
+            error.job_index = index
+            error.placement = placement
+            error.report = getattr(err, "report", None)
+            raise error from err
         outcomes.append(JobOutcome(spec=job, placement=placement,
                                    cycles=cycles))
-    return WorkloadResult(policy_name=policy.name, outcomes=tuple(outcomes))
+    return WorkloadResult(
+        policy_name=policy.resolved_name(system.config.num_clusters),
+        outcomes=tuple(outcomes))

@@ -41,6 +41,27 @@ def test_scheduler_small_stream():
                            if p != "model_driven") * 1.02
 
 
+def test_traffic_small_scenario():
+    result = experiments.traffic_experiment(num_jobs=24, tenants=2,
+                                            num_clusters=8, seed=11)
+    assert len(result.metrics) == 12   # 3 arrivals x 4 policies
+    for arrival in ("poisson", "bursty", "trace"):
+        # The headline claim, on every arrival process: online Eq. 3
+        # beats full-width offloading on deadline-miss rate.
+        assert result.miss_rate(arrival, "deadline_aware") \
+            <= result.miss_rate(arrival, "always_offload_8")
+    assert result.miss_rate("poisson", "deadline_aware") < 0.5
+
+
+def test_traffic_experiment_is_deterministic():
+    first = experiments.traffic_experiment(num_jobs=24, tenants=2,
+                                           num_clusters=8, seed=11)
+    second = experiments.traffic_experiment(num_jobs=24, tenants=2,
+                                            num_clusters=8, seed=11)
+    assert first.to_csv() == second.to_csv()
+    assert first.metrics == second.metrics
+
+
 def test_double_buffer_ablation_small():
     result = experiments.ablation_double_buffer(n=4096, m_values=(1, 8),
                                                 num_clusters=8)

@@ -60,6 +60,27 @@ def test_m_min_is_feasible_and_minimal(model, n, t_max, max_clusters):
         assert model.predict(m_min - 1, n) > t_max
 
 
+@given(dispatch_model_strategy,
+       st.integers(min_value=1, max_value=100_000),
+       st.floats(min_value=1.0, max_value=1e7),
+       st.integers(min_value=1, max_value=64))
+def test_m_min_with_dispatch_term_is_feasible_and_minimal(
+        model, n, t_max, max_clusters):
+    # With a dispatch term the runtime is not monotone in M, so
+    # minimality means *no* narrower width is feasible — not just the
+    # immediate neighbour.
+    try:
+        m_min = min_clusters_for_deadline(model, n, t_max,
+                                          max_clusters=max_clusters)
+    except DecisionError:
+        assert all(model.predict(m, n) > t_max
+                   for m in range(1, max_clusters + 1))
+        return
+    assert 1 <= m_min <= max_clusters
+    assert model.predict(m_min, n) <= t_max
+    assert all(model.predict(m, n) > t_max for m in range(1, m_min))
+
+
 @settings(deadline=None)
 @given(st.floats(min_value=0, max_value=5_000),
        st.floats(min_value=0, max_value=5),

@@ -160,6 +160,22 @@ def test_fabric_command_selects_classes():
     assert "Fabric selection" in text
 
 
+def test_traffic_command_reports_and_exports_csv(tmp_path):
+    target = tmp_path / "traffic.csv"
+    code, text = run_cli("traffic", "--clusters", "4", "--num-jobs", "24",
+                         "--tenants", "2", "--seed", "11",
+                         "--csv", str(target))
+    assert code == 0
+    assert "E13" in text
+    for policy in ("always_host", "always_offload_4", "model_driven",
+                   "deadline_aware"):
+        assert policy in text
+    content = target.read_text()
+    assert content.startswith("arrival,policy,tenant,")
+    assert "poisson" in content and "bursty" in content \
+        and "trace" in content
+
+
 def test_unknown_command_exits_nonzero():
     with pytest.raises(SystemExit):
         run_cli("frobnicate")

@@ -63,6 +63,35 @@ def test_invalid_arguments():
         min_clusters_for_deadline(PAPER_DAXPY_MODEL, 1024, -5.0)
 
 
+def test_deadline_exactly_at_serial_floor_is_infeasible():
+    # All coefficients are binary fractions, so the serial floor
+    # 400 + 0.25*1024 = 656.0 is exact: a deadline *equal* to it leaves
+    # zero budget for the parallel term and can never be met.
+    model = OffloadModel(t0=400, mem_coeff=0.25, compute_coeff=0.25)
+    with pytest.raises(DecisionError, match="serial floor"):
+        min_clusters_for_deadline(model, 1024, 656.0)
+
+
+def test_deadline_exactly_on_a_cluster_count_boundary():
+    # predict(8, 1024) = 400 + 256 + 256/8 = 688.0 exactly (binary
+    # fractions): the deadline equals the M=8 runtime, so Eq. 3 must
+    # return 8 — neither 9 (ceil rounding up across the boundary) nor 7.
+    model = OffloadModel(t0=400, mem_coeff=0.25, compute_coeff=0.25)
+    assert model.predict(8, 1024) == 688.0
+    assert min_clusters_for_deadline(model, 1024, 688.0) == 8
+    assert model.predict(7, 1024) > 688.0
+
+
+def test_dispatch_search_exact_boundaries():
+    # predict(m, 1024) = 356 + 8m + 512/m: 484.0 at the optimum m=8,
+    # 516.0 at both m=4 and m=16 (exact floats).  The minimum feasible
+    # width is the answer even when wider widths are feasible too.
+    model = OffloadModel(t0=100, mem_coeff=0.25, compute_coeff=0.5,
+                         dispatch_coeff=8.0)
+    assert min_clusters_for_deadline(model, 1024, 484.0) == 8
+    assert min_clusters_for_deadline(model, 1024, 516.0) == 4
+
+
 def test_search_path_with_dispatch_term():
     model = OffloadModel(t0=367, mem_coeff=0.25, compute_coeff=0.325,
                          dispatch_coeff=11.0)

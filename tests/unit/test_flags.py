@@ -15,6 +15,7 @@ from repro import flags
     (flags.linear_routing, flags.LINEAR_ROUTING_ENV),
     (flags.fresh_systems, flags.FRESH_SYSTEMS_ENV),
     (flags.explicit_fabric, flags.EXPLICIT_FABRIC_ENV),
+    (flags.legacy_job_seeds, flags.LEGACY_JOB_SEEDS_ENV),
     (flags.strict, flags.STRICT_ENV),
 ])
 def test_boolean_gates_follow_the_non_empty_convention(monkeypatch,
@@ -44,8 +45,8 @@ def test_all_gates_is_complete():
         flags.NAIVE_BARRIER_ENV, flags.NAIVE_SNAPSHOT_ENV,
         flags.NAIVE_BATCH_ENV, flags.NAIVE_MPREDICT_ENV,
         flags.LINEAR_ROUTING_ENV, flags.FRESH_SYSTEMS_ENV,
-        flags.EXPLICIT_FABRIC_ENV, flags.CACHE_DIR_ENV,
-        flags.CACHE_MAX_ENTRIES_ENV, flags.STRICT_ENV}
+        flags.EXPLICIT_FABRIC_ENV, flags.LEGACY_JOB_SEEDS_ENV,
+        flags.CACHE_DIR_ENV, flags.CACHE_MAX_ENTRIES_ENV, flags.STRICT_ENV}
 
 
 def test_cache_max_entries_accepts_only_positive_integers(monkeypatch):

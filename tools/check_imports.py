@@ -13,7 +13,7 @@ layer  modules
 3      ``kernels``, ``abi``
 4      ``cluster``, ``host``, ``soc``
 5      ``runtime``
-6      ``core``, ``energy``, ``workload``
+6      ``core``, ``energy``, ``workload``, ``traffic``
 7      ``analysis``, ``experiments``, ``cli``, ``__main__``
 ====== ==========================================================
 
@@ -53,7 +53,7 @@ LAYERS = {
     "kernels": 3, "abi": 3,
     "cluster": 4, "host": 4, "soc": 4,
     "runtime": 5,
-    "core": 6, "energy": 6, "workload": 6,
+    "core": 6, "energy": 6, "workload": 6, "traffic": 6,
     "analysis": 7, "experiments": 7, "cli": 7, "__main__": 7,
 }
 
